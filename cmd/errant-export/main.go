@@ -1,0 +1,58 @@
+// Command errant-export fits data-driven emulator profiles (the paper's
+// released artifact format) from a fresh campaign on the emulated testbed
+// and writes them as JSON, alongside the built-in comparison profiles.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"starlinkperf/internal/core"
+	"starlinkperf/internal/errant"
+)
+
+func main() {
+	outPath := flag.String("o", "errant-profiles.json", "output file")
+	tests := flag.Int("tests", 12, "speedtests per technology to fit from")
+	seed := flag.Uint64("seed", 1, "simulation seed")
+	flag.Parse()
+
+	cfg := core.DefaultConfig()
+	cfg.Seed = *seed
+	tb := core.NewTestbed(cfg)
+
+	fmt.Fprintln(os.Stderr, "measuring starlink...")
+	lat := tb.RunLatencyCampaign(12*time.Hour, 10*time.Minute)
+	var rtts []float64
+	for _, s := range lat.EuropeanSeries().Samples() {
+		rtts = append(rtts, s.Value)
+	}
+	sl := tb.RunSpeedtestCampaign(core.TechStarlink, *tests, 30*time.Minute)
+	var down, up []float64
+	for _, r := range sl {
+		down = append(down, r.DownloadMbps)
+		up = append(up, r.UploadMbps)
+	}
+	msgs := tb.RunMessagesCampaign(4, 2*time.Minute, true)
+
+	profiles := errant.Builtin()
+	profiles["starlink-fitted"] = errant.Fit("starlink-fitted", down, up, rtts,
+		7, 100*msgs.LossRatio())
+
+	data, err := errant.MarshalProfiles(profiles)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(*outPath, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %d profiles to %s\n", len(profiles), *outPath)
+	for name, p := range profiles {
+		fmt.Printf("  %-16s down~%.0f up~%.1f rtt~%.0fms loss=%.2f%%\n",
+			name, p.DownMbps.Median(), p.UpMbps.Median(), p.RTTms.Median(), p.LossPct)
+	}
+}

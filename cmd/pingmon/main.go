@@ -1,0 +1,41 @@
+// Command pingmon runs the anchor latency monitor (Figures 1 and 2): it
+// pings the 11-anchor fleet from PC-Starlink on the paper's cadence and
+// prints the per-anchor distributions and the European timeline.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"strings"
+	"time"
+
+	"starlinkperf/internal/core"
+)
+
+func main() {
+	days := flag.Int("days", 7, "campaign length in days")
+	interval := flag.Duration("interval", 5*time.Minute, "probe round interval")
+	seed := flag.Uint64("seed", 1, "simulation seed")
+	growth := flag.Bool("scenario", false, "include the fleet-growth and load-episode scenario events")
+	flag.Parse()
+
+	cfg := core.DefaultConfig()
+	cfg.Seed = *seed
+	if *growth {
+		cfg.InitialShellFraction = 0.86
+		cfg.FleetGrowthAt = 53 * 24 * time.Hour
+		cfg.Load = core.LoadEpisode{
+			Start: 125 * 24 * time.Hour, End: 139 * 24 * time.Hour,
+			ExtraOneWay: 4 * time.Millisecond,
+		}
+	}
+	tb := core.NewTestbed(cfg)
+	lat := tb.RunLatencyCampaign(time.Duration(*days)*24*time.Hour, *interval)
+
+	var out strings.Builder
+	core.RenderFigure1(&out, core.Figure1(lat, tb.Anchors))
+	out.WriteString("\n")
+	core.RenderFigure2(&out, core.Figure2(lat))
+	fmt.Printf("%s\nprobes sent=%d lost=%d (%.2f%%)\n",
+		out.String(), lat.Sent, lat.Lost, 100*float64(lat.Lost)/float64(lat.Sent))
+}

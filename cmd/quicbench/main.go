@@ -1,0 +1,76 @@
+// Command quicbench runs the paper's QUIC workloads from PC-Starlink —
+// bulk H3-like transfers or the 25-messages-per-second session — and
+// reports RTT distributions and capture-based loss accounting. With
+// -pcap it also writes the receiver capture as a libpcap file.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"starlinkperf/internal/core"
+	"starlinkperf/internal/stats"
+	"starlinkperf/internal/trace"
+)
+
+func main() {
+	mode := flag.String("mode", "h3", "workload: h3 | messages")
+	dir := flag.String("dir", "down", "direction: down | up")
+	n := flag.Int("n", 5, "transfers or sessions")
+	sizeMB := flag.Int("size", 100, "transfer size in MB (h3 mode)")
+	pcapPath := flag.String("pcap", "", "write the receiver capture of the first transfer to this pcap file")
+	seed := flag.Uint64("seed", 1, "simulation seed")
+	flag.Parse()
+
+	download := *dir == "down"
+	cfg := core.DefaultConfig()
+	cfg.Seed = *seed
+	tb := core.NewTestbed(cfg)
+	var out strings.Builder
+
+	switch *mode {
+	case "h3":
+		camp := tb.RunH3Campaign(*n, *sizeMB<<20, download, 15*time.Second)
+		r := stats.Summarize(camp.RTTSamplesMs())
+		g := stats.Summarize(camp.Goodputs())
+		fmt.Fprintf(&out, "H3 %s: %d x %dMB transfers\n", *dir, len(camp.Records), *sizeMB)
+		fmt.Fprintf(&out, "  goodput: med=%.1f p25=%.1f p75=%.1f Mbit/s\n", g.P50, g.P25, g.P75)
+		fmt.Fprintf(&out, "  RTT: n=%d p50=%.0f p95=%.0f p99=%.0f ms\n", r.N, r.P50, r.P95, r.P99)
+		fmt.Fprintf(&out, "  loss: %.2f%% in %d events\n", 100*camp.LossRatio(), len(camp.BurstLengths()))
+		core.LossDurations(&out, "loss events", camp.EventDurations())
+		if *pcapPath != "" && len(camp.Records) > 0 {
+			f, err := os.Create(*pcapPath)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			w := trace.NewPcapWriter(f)
+			if err := w.WriteCapture(camp.Records[0].Result.ReceiverCapture); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			f.Close()
+			fmt.Fprintf(&out, "  wrote %d capture records to %s\n", w.Packets, *pcapPath)
+		}
+	case "messages":
+		camp := tb.RunMessagesCampaign(*n, 2*time.Minute, download)
+		r := stats.Summarize(camp.RTTsMs)
+		fmt.Fprintf(&out, "messages %s: %d sessions of 2min at 25 msg/s (5-25kB)\n", *dir, *n)
+		fmt.Fprintf(&out, "  RTT: n=%d p50=%.0f p95=%.0f p99=%.0f ms\n", r.N, r.P50, r.P95, r.P99)
+		fmt.Fprintf(&out, "  loss: %.2f%% (bursts: %v...)\n", 100*camp.LossRatio(), head(camp.BurstLengths(), 12))
+	default:
+		fmt.Fprintf(os.Stderr, "unknown mode %q\n", *mode)
+		os.Exit(2)
+	}
+	fmt.Print(out.String())
+}
+
+func head(xs []int, n int) []int {
+	if len(xs) > n {
+		return xs[:n]
+	}
+	return xs
+}

@@ -1,0 +1,96 @@
+// Command speedtest runs Ookla-style measurements (closest-server
+// selection, parallel TCP connections) from one of the three vantage
+// points.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"starlinkperf/internal/core"
+	"starlinkperf/internal/measure"
+	"starlinkperf/internal/netem"
+	"starlinkperf/internal/stats"
+)
+
+func main() {
+	techName := flag.String("tech", "starlink", "vantage point: starlink | satcom | wired")
+	count := flag.Int("count", 10, "number of tests")
+	gap := flag.Duration("gap", 30*time.Minute, "virtual time between tests")
+	conns := flag.Int("conns", 4, "parallel TCP connections")
+	seed := flag.Uint64("seed", 1, "simulation seed")
+	flag.Parse()
+
+	tech, ok := parseTech(*techName)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown tech %q\n", *techName)
+		os.Exit(2)
+	}
+	cfg := core.DefaultConfig()
+	cfg.Seed = *seed
+	tb := core.NewTestbed(cfg)
+
+	node := map[core.Tech]string{core.TechStarlink: "pc-starlink", core.TechSatCom: "pc-satcom", core.TechWired: "pc-wired"}[tech]
+	fmt.Printf("speedtest from %s (%d tests, %d connections):\n", node, *count, *conns)
+
+	results := runCampaign(tb, tech, *count, *gap, *conns)
+	var down, up []float64
+	for i, r := range results {
+		fmt.Printf("  #%02d  server=%-14s ping=%-8s down=%7.1f Mbit/s  up=%6.1f Mbit/s\n",
+			i+1, r.Server, r.PingRTT.Round(100*time.Microsecond), r.DownloadMbps, r.UploadMbps)
+		down = append(down, r.DownloadMbps)
+		up = append(up, r.UploadMbps)
+	}
+	d, u := stats.Summarize(down), stats.Summarize(up)
+	fmt.Printf("download: med=%.1f p25=%.1f p75=%.1f max=%.1f Mbit/s\n", d.P50, d.P25, d.P75, d.Max)
+	fmt.Printf("upload:   med=%.1f p25=%.1f p75=%.1f max=%.1f Mbit/s\n", u.P50, u.P25, u.P75, u.Max)
+}
+
+func parseTech(s string) (core.Tech, bool) {
+	switch s {
+	case "starlink":
+		return core.TechStarlink, true
+	case "satcom":
+		return core.TechSatCom, true
+	case "wired":
+		return core.TechWired, true
+	}
+	return 0, false
+}
+
+func runCampaign(tb *core.Testbed, tech core.Tech, n int, gap time.Duration, conns int) []measure.SpeedtestResult {
+	if conns == 4 {
+		return tb.RunSpeedtestCampaign(tech, n, gap)
+	}
+	// Custom connection count: drive measure directly.
+	var out []measure.SpeedtestResult
+	prober := measure.NewProber(vantageNode(tb, tech))
+	cfg := measure.DefaultSpeedtestConfig()
+	cfg.Connections = conns
+	var runOne func(i int)
+	runOne = func(i int) {
+		if i >= n {
+			return
+		}
+		measure.RunSpeedtest(prober, tb.OoklaServers, cfg, func(r measure.SpeedtestResult) {
+			out = append(out, r)
+			tb.Sched.After(gap, func() { runOne(i + 1) })
+		})
+	}
+	runOne(0)
+	tb.Sched.RunFor(time.Duration(n) * (gap + time.Minute))
+	return out
+}
+
+func vantageNode(tb *core.Testbed, tech core.Tech) *netem.Node {
+	switch tech {
+	case core.TechSatCom:
+		return tb.PCSatCom
+	case core.TechWired:
+		return tb.PCWired
+	default:
+		return tb.PCStarlink
+	}
+}

@@ -1,0 +1,116 @@
+// Command starlink-bench runs the full measurement campaign against the
+// emulated testbed and prints every table and figure the paper reports.
+//
+// Scale is controlled by -scale: 1 is a quick pass (~1 minute of wall
+// time), larger values lengthen campaigns towards the paper's sample
+// sizes (RTT-sample counts in the millions need -scale 8 and some
+// patience).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"starlinkperf/internal/core"
+	"starlinkperf/internal/web"
+)
+
+func main() {
+	scale := flag.Int("scale", 1, "campaign scale factor")
+	seed := flag.Uint64("seed", 1, "simulation seed")
+	flag.Parse()
+	if *scale < 1 {
+		fmt.Fprintln(os.Stderr, "scale must be >= 1")
+		os.Exit(2)
+	}
+
+	cfg := core.DefaultConfig()
+	cfg.Seed = *seed
+	var out strings.Builder
+
+	// Table 1 + Figures 1-2 share one long latency campaign with the
+	// paper's scenario events.
+	latCfg := cfg
+	latCfg.InitialShellFraction = 0.86
+	latCfg.FleetGrowthAt = 53 * 24 * time.Hour
+	latCfg.Load = core.LoadEpisode{Start: 125 * 24 * time.Hour, End: 139 * 24 * time.Hour, ExtraOneWay: 4 * time.Millisecond}
+	latTB := core.NewTestbed(latCfg)
+	latDays := time.Duration(min(150, 10**scale)) * 24 * time.Hour
+	interval := 30 * time.Minute
+	if *scale >= 4 {
+		interval = 5 * time.Minute
+	}
+	fmt.Fprintf(os.Stderr, "latency campaign: %s at %s cadence...\n", latDays, interval)
+	lat := latTB.RunLatencyCampaign(latDays, interval)
+
+	core.RenderTable1(&out, latDays, latDays, latDays, latDays, len(latTB.Anchors), len(latTB.Sites))
+	out.WriteString("\n")
+	core.RenderFigure1(&out, core.Figure1(lat, latTB.Anchors))
+	out.WriteString("\n")
+	bins := core.Figure2(lat)
+	step := max(1, len(bins)/24)
+	var shown []core.Figure2Bin
+	for i := 0; i < len(bins); i += step {
+		shown = append(shown, bins[i])
+	}
+	core.RenderFigure2(&out, shown)
+	out.WriteString("\n")
+
+	// QUIC campaigns on a fresh testbed.
+	tb := core.NewTestbed(cfg)
+	fmt.Fprintln(os.Stderr, "H3 bulk campaigns...")
+	h3d := tb.RunH3Campaign(6**scale, 100<<20, true, 20*time.Second)
+	h3u := tb.RunH3Campaign(4**scale, 100<<20, false, 20*time.Second)
+	fmt.Fprintln(os.Stderr, "message campaigns...")
+	md := tb.RunMessagesCampaign(4**scale, 2*time.Minute, true)
+	mu := tb.RunMessagesCampaign(4**scale, 2*time.Minute, false)
+
+	core.RenderFigure3(&out, core.MakeFigure3(h3d, h3u))
+	out.WriteString("\n")
+	core.RenderTable2(&out, core.MakeTable2(h3d, h3u, md, mu))
+	out.WriteString("\n")
+	core.RenderFigure4(&out, core.MakeFigure4("H3 transfers", h3d.BurstLengths(), h3u.BurstLengths()))
+	core.RenderFigure4(&out, core.MakeFigure4("messaging transfers", md.BurstLengths(), mu.BurstLengths()))
+	core.LossDurations(&out, "H3 downloads", h3d.EventDurations())
+	core.LossDurations(&out, "message downloads", md.EventDurations())
+	out.WriteString("\n")
+
+	fmt.Fprintln(os.Stderr, "speedtest campaigns...")
+	sl := tb.RunSpeedtestCampaign(core.TechStarlink, 16**scale, 30*time.Minute)
+	sc := tb.RunSpeedtestCampaign(core.TechSatCom, 8**scale, 30*time.Minute)
+	core.RenderFigure5(&out, core.MakeFigure5(sl, sc, h3d, h3u))
+	out.WriteString("\n")
+
+	fmt.Fprintln(os.Stderr, "web campaigns...")
+	visits := map[string][]web.VisitResult{
+		"starlink": tb.RunWebCampaign(core.TechStarlink, 40**scale, 2*time.Second),
+		"satcom":   tb.RunWebCampaign(core.TechSatCom, 40**scale, 2*time.Second),
+		"wired":    tb.RunWebCampaign(core.TechWired, 40**scale, 2*time.Second),
+	}
+	core.RenderFigure6(&out, core.MakeFigure6(visits))
+	out.WriteString("\n")
+
+	fmt.Fprintln(os.Stderr, "middlebox + traffic-discrimination audits...")
+	mbSL := core.NewTestbed(cfg)
+	core.RenderMiddleboxAudit(&out, "starlink", mbSL.RunMiddleboxAudit(core.TechStarlink))
+	mbSC := core.NewTestbed(cfg)
+	core.RenderMiddleboxAudit(&out, "satcom", mbSC.RunMiddleboxAudit(core.TechSatCom))
+	out.WriteString("\n")
+	wtb := core.NewTestbed(cfg)
+	core.RenderWehe(&out, "starlink", wtb.RunWeheAudit(core.TechStarlink, min(10, 2**scale)))
+
+	// Wired-baseline loss check (§3.2).
+	base := core.NewTestbed(cfg)
+	bc := base.RunH3CampaignFrom(base.PCWired, 4, 100<<20, true, 5*time.Second, base.QUICConf)
+	var sent, lost uint64
+	for _, r := range bc.Records {
+		sent += r.Loss.PacketsSent
+		lost += r.Loss.PacketsLost
+	}
+	fmt.Fprintf(&out, "\nWired-baseline H3 downloads: %d packets sent, %d lost (paper: 10 of 5.8M)\n", sent, lost)
+
+	fmt.Print(out.String())
+}

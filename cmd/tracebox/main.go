@@ -1,0 +1,39 @@
+// Command tracebox runs the §3.5 middlebox audit — traceroute, header
+// diffing against ICMP quotes, NAT-level counting, and split-proxy
+// detection — from a chosen vantage point.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"starlinkperf/internal/core"
+)
+
+func main() {
+	techName := flag.String("tech", "starlink", "vantage point: starlink | satcom | wired")
+	seed := flag.Uint64("seed", 1, "simulation seed")
+	flag.Parse()
+
+	var tech core.Tech
+	switch *techName {
+	case "starlink":
+		tech = core.TechStarlink
+	case "satcom":
+		tech = core.TechSatCom
+	case "wired":
+		tech = core.TechWired
+	default:
+		fmt.Fprintf(os.Stderr, "unknown tech %q\n", *techName)
+		os.Exit(2)
+	}
+	cfg := core.DefaultConfig()
+	cfg.Seed = *seed
+	tb := core.NewTestbed(cfg)
+	audit := tb.RunMiddleboxAudit(tech)
+	var out strings.Builder
+	core.RenderMiddleboxAudit(&out, *techName, audit)
+	fmt.Print(out.String())
+}

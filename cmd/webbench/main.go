@@ -1,0 +1,63 @@
+// Command webbench runs BrowserTime-like page visits over the website
+// corpus from a chosen vantage point and reports onLoad and SpeedIndex
+// distributions (Figure 6).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"starlinkperf/internal/core"
+	"starlinkperf/internal/stats"
+)
+
+func main() {
+	techName := flag.String("tech", "starlink", "vantage point: starlink | satcom | wired")
+	visits := flag.Int("visits", 60, "number of page visits")
+	seed := flag.Uint64("seed", 1, "simulation seed")
+	verbose := flag.Bool("v", false, "print per-visit rows")
+	flag.Parse()
+
+	var tech core.Tech
+	switch *techName {
+	case "starlink":
+		tech = core.TechStarlink
+	case "satcom":
+		tech = core.TechSatCom
+	case "wired":
+		tech = core.TechWired
+	default:
+		fmt.Fprintf(os.Stderr, "unknown tech %q\n", *techName)
+		os.Exit(2)
+	}
+
+	cfg := core.DefaultConfig()
+	cfg.Seed = *seed
+	tb := core.NewTestbed(cfg)
+	results := tb.RunWebCampaign(tech, *visits, 2*time.Second)
+
+	var onload, si, setup []float64
+	fails := 0
+	for i, v := range results {
+		if v.Failed {
+			fails++
+			continue
+		}
+		if *verbose {
+			fmt.Printf("  visit %3d site-rank=%3d objects=%3d conns=%2d onLoad=%6.2fs SI=%6.2fs\n",
+				i+1, v.Site.Rank, len(v.Site.Objects), v.Connections, v.OnLoad.Seconds(), v.SpeedIndex.Seconds())
+		}
+		onload = append(onload, v.OnLoad.Seconds())
+		si = append(si, v.SpeedIndex.Seconds())
+		for _, d := range v.ConnSetupTimes {
+			setup = append(setup, d.Seconds()*1000)
+		}
+	}
+	o, s, st := stats.Summarize(onload), stats.Summarize(si), stats.Summarize(setup)
+	fmt.Printf("%s: %d visits (%d failed)\n", *techName, len(results), fails)
+	fmt.Printf("  onLoad:     med=%.2fs IQR=[%.2f, %.2f]s\n", o.P50, o.P25, o.P75)
+	fmt.Printf("  SpeedIndex: med=%.2fs IQR=[%.2f, %.2f]s\n", s.P50, s.P25, s.P75)
+	fmt.Printf("  conn setup: mean=%.0fms med=%.0fms (n=%d)\n", st.Mean, st.P50, st.N)
+}

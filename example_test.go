@@ -1,0 +1,23 @@
+package starlinkperf_test
+
+import (
+	"fmt"
+	"time"
+
+	"starlinkperf"
+)
+
+// Example demonstrates the minimal measurement loop: build the emulated
+// testbed and ping the anchor fleet for an hour of virtual time.
+func Example() {
+	cfg := starlinkperf.DefaultConfig()
+	cfg.Seed = 42
+	tb := starlinkperf.NewTestbed(cfg)
+
+	lat := tb.RunLatencyCampaign(time.Hour, 10*time.Minute)
+	rows := starlinkperf.Figure1(lat, tb.Anchors)
+	fmt.Printf("%d anchors measured; first anchor: %s (%s)\n",
+		len(rows), rows[0].Anchor, rows[0].Region)
+	// Output:
+	// 11 anchors measured; first anchor: be-probe-1 (BE)
+}

@@ -1,0 +1,34 @@
+// Quickstart: build the emulated testbed, ping an anchor, download a file
+// over QUIC, and print what a Starlink subscriber would see. Everything
+// runs on a virtual clock — the whole program finishes in well under a
+// second of wall time.
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"starlinkperf"
+	"starlinkperf/internal/stats"
+)
+
+func main() {
+	tb := starlinkperf.NewTestbed(starlinkperf.DefaultConfig())
+
+	// A short ping campaign against the paper's 11 anchors.
+	lat := tb.RunLatencyCampaign(2*time.Hour, 5*time.Minute)
+	fmt.Println("idle RTT after 2h of pings:")
+	for _, row := range starlinkperf.Figure1(lat, tb.Anchors) {
+		fmt.Printf("  %-16s median %5.1f ms (min %.1f)\n",
+			row.Anchor, row.Summary.P50, row.Summary.Min)
+	}
+
+	// One 100 MB HTTP/3-style download from the campus server.
+	camp := tb.RunH3Campaign(1, 100<<20, true, 0)
+	rec := camp.Records[0]
+	rtt := stats.Summarize(rec.Result.RTTs.Milliseconds())
+	fmt.Printf("\n100MB QUIC download: %.0f Mbit/s goodput\n", rec.Result.GoodputMbps)
+	fmt.Printf("  RTT under load: p50=%.0fms p95=%.0fms\n", rtt.P50, rtt.P95)
+	fmt.Printf("  packets lost on the way down: %d of %d (%.2f%%)\n",
+		rec.Loss.PacketsLost, rec.Loss.PacketsSent, 100*rec.Loss.LossRate())
+}

@@ -1,0 +1,3 @@
+module starlinkperf
+
+go 1.22

@@ -1,0 +1,155 @@
+package cc
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"starlinkperf/internal/sim"
+)
+
+const testMSS = 1460
+
+func at(sec float64) sim.Time { return sim.Time(sec * float64(time.Second)) }
+
+func TestCubicInitialWindow(t *testing.T) {
+	c := NewCubic(testMSS)
+	if c.Window() != InitialWindowPackets*testMSS {
+		t.Errorf("initial window = %d", c.Window())
+	}
+	if c.Name() != "cubic" {
+		t.Errorf("name = %q", c.Name())
+	}
+}
+
+func TestCubicWindowNeverBelowFloor(t *testing.T) {
+	c := NewCubic(testMSS)
+	var r RTTEstimator
+	r.Update(50*time.Millisecond, 0)
+	for i := 0; i < 50; i++ {
+		c.OnCongestionEvent(at(float64(i)), at(float64(i)))
+	}
+	if c.Window() < MinWindowPackets*testMSS {
+		t.Errorf("window %d below floor", c.Window())
+	}
+}
+
+func TestCubicGrowthBetweenLossesIsMonotone(t *testing.T) {
+	c := NewCubic(testMSS)
+	var r RTTEstimator
+	r.Update(50*time.Millisecond, 0)
+	// Leave slow start.
+	c.OnCongestionEvent(at(0.1), at(0.05))
+	prev := c.Window()
+	now := 0.2
+	for i := 0; i < 500; i++ {
+		now += 0.01
+		c.OnPacketAcked(at(now), testMSS, &r)
+		if w := c.Window(); w < prev {
+			t.Fatalf("window shrank without loss: %d -> %d at step %d", prev, w, i)
+		} else {
+			prev = w
+		}
+	}
+	if prev <= MinWindowPackets*testMSS {
+		t.Error("window never grew in congestion avoidance")
+	}
+}
+
+func TestCubicConcaveThenConvex(t *testing.T) {
+	// After a loss the window should approach wMax slowly (concave) then
+	// accelerate past it (convex): growth in the first second after
+	// reaching wMax should exceed growth in the second before it.
+	c := NewCubic(testMSS)
+	var r RTTEstimator
+	r.Update(50*time.Millisecond, 0)
+	// Grow to a meaningful window in slow start, then lose.
+	for i := 0; i < 200; i++ {
+		c.OnPacketAcked(at(0.001*float64(i)), testMSS, &r)
+	}
+	c.OnCongestionEvent(at(1), at(0.9))
+	start := c.Window()
+
+	window := func(from, to float64) int {
+		w0 := c.Window()
+		for ts := from; ts < to; ts += 0.005 {
+			c.OnPacketAcked(at(ts), testMSS, &r)
+		}
+		return c.Window() - w0
+	}
+	early := window(1.3, 2.3)
+	late := window(6.0, 7.0)
+	if late <= early {
+		t.Logf("early growth %d, late growth %d (start %d)", early, late, start)
+		t.Error("cubic should accelerate after the plateau")
+	}
+}
+
+func TestNewRenoHalvesOnLoss(t *testing.T) {
+	n := NewNewReno(testMSS)
+	var r RTTEstimator
+	r.Update(50*time.Millisecond, 0)
+	for i := 0; i < 100; i++ {
+		n.OnPacketAcked(at(0.001*float64(i)), testMSS, &r)
+	}
+	w := n.Window()
+	n.OnCongestionEvent(at(1), at(0.9))
+	if n.Window() != w/2 {
+		t.Errorf("post-loss window = %d, want %d", n.Window(), w/2)
+	}
+	if n.InSlowStart() {
+		t.Error("should have exited slow start")
+	}
+}
+
+func TestCCSameEpochLossIgnored(t *testing.T) {
+	for _, ctl := range []CongestionController{NewCubic(testMSS), NewNewReno(testMSS)} {
+		ctl.OnCongestionEvent(at(1), at(0.5))
+		w := ctl.Window()
+		ctl.OnCongestionEvent(at(1.01), at(0.9)) // sent before recovery start
+		if ctl.Window() != w {
+			t.Errorf("%s: same-episode loss reduced window", ctl.Name())
+		}
+		ctl.OnCongestionEvent(at(2), at(1.5)) // sent after recovery start
+		if ctl.Window() >= w {
+			t.Errorf("%s: new-episode loss did not reduce window", ctl.Name())
+		}
+	}
+}
+
+func TestPacerDisabledIsZero(t *testing.T) {
+	p := Pacer{}
+	var r RTTEstimator
+	r.Update(50*time.Millisecond, 0)
+	if d := p.Delay(0, 1500, 100000, &r); d != 0 {
+		t.Errorf("disabled pacer delay = %v", d)
+	}
+}
+
+func TestPacerSpacesPackets(t *testing.T) {
+	p := Pacer{Enabled: true, Gain: 1}
+	var r RTTEstimator
+	r.Update(100*time.Millisecond, 0)
+	cwnd := 10 * 1500 // 15 kB per 100ms = 150 kB/s
+	// First packet immediate, subsequent spaced at size/rate = 10ms.
+	if d := p.Delay(0, 1500, cwnd, &r); d != 0 {
+		t.Fatalf("first packet delayed %v", d)
+	}
+	d := p.Delay(0, 1500, cwnd, &r)
+	if d != 10*time.Millisecond {
+		t.Errorf("second packet delay = %v, want 10ms", d)
+	}
+}
+
+func TestPacerPropertyNonNegative(t *testing.T) {
+	p := Pacer{Enabled: true}
+	var r RTTEstimator
+	r.Update(30*time.Millisecond, 0)
+	f := func(sz uint16, w uint32) bool {
+		d := p.Delay(at(1), int(sz%9000)+1, int(w%1000000)+1500, &r)
+		return d >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,94 @@
+package cc
+
+import "time"
+
+// RTTEstimator maintains the RFC 9002 §5 round-trip time state.
+type RTTEstimator struct {
+	latest   time.Duration
+	min      time.Duration
+	smoothed time.Duration
+	variance time.Duration
+	samples  int
+}
+
+// InitialRTT is the pre-handshake RTT assumption (RFC 9002 §6.2.2).
+const InitialRTT = 333 * time.Millisecond
+
+// Update folds an RTT sample in, subtracting ackDelay per RFC 9002 §5.3
+// when it does not underrun the minimum.
+func (r *RTTEstimator) Update(sample, ackDelay time.Duration) {
+	if sample <= 0 {
+		return
+	}
+	r.latest = sample
+	if r.samples == 0 {
+		r.min = sample
+		r.smoothed = sample
+		r.variance = sample / 2
+		r.samples = 1
+		return
+	}
+	r.samples++
+	if sample < r.min {
+		r.min = sample
+	}
+	adjusted := sample
+	if adjusted-ackDelay >= r.min {
+		adjusted -= ackDelay
+	}
+	d := r.smoothed - adjusted
+	if d < 0 {
+		d = -d
+	}
+	r.variance = (3*r.variance + d) / 4
+	r.smoothed = (7*r.smoothed + adjusted) / 8
+}
+
+// Latest returns the most recent sample.
+func (r *RTTEstimator) Latest() time.Duration { return r.latest }
+
+// Min returns the minimum observed RTT.
+func (r *RTTEstimator) Min() time.Duration { return r.min }
+
+// Smoothed returns the smoothed RTT, or InitialRTT before any sample.
+func (r *RTTEstimator) Smoothed() time.Duration {
+	if r.samples == 0 {
+		return InitialRTT
+	}
+	return r.smoothed
+}
+
+// Variance returns the RTT variance estimate.
+func (r *RTTEstimator) Variance() time.Duration {
+	if r.samples == 0 {
+		return InitialRTT / 2
+	}
+	return r.variance
+}
+
+// Samples returns the number of samples folded in.
+func (r *RTTEstimator) Samples() int { return r.samples }
+
+// PTO returns the probe timeout period: smoothed + max(4*var, 1ms) +
+// maxAckDelay (RFC 9002 §6.2.1).
+func (r *RTTEstimator) PTO(maxAckDelay time.Duration) time.Duration {
+	v := 4 * r.Variance()
+	if v < time.Millisecond {
+		v = time.Millisecond
+	}
+	return r.Smoothed() + v + maxAckDelay
+}
+
+// LossDelay returns the time-threshold loss delay: 9/8 * max(smoothed,
+// latest), floored at 1 ms (RFC 9002 §6.1.2).
+func (r *RTTEstimator) LossDelay() time.Duration {
+	m := r.Smoothed()
+	if r.latest > m {
+		m = r.latest
+	}
+	d := m * 9 / 8
+	if d < time.Millisecond {
+		d = time.Millisecond
+	}
+	return d
+}

@@ -1,0 +1,98 @@
+package core
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"starlinkperf/internal/measure"
+	"starlinkperf/internal/trace"
+)
+
+// fabricate small campaign objects so the renderers can be exercised
+// without running expensive experiments.
+
+func fabH3(down bool) *H3Campaign {
+	c := &H3Campaign{Download: down}
+	rec := H3Record{}
+	rec.Result.Completed = true
+	rec.Result.GoodputMbps = 123
+	rec.Result.RTTs = &trace.RTTRecorder{}
+	for i := 0; i < 50; i++ {
+		rec.Result.RTTs.Samples = append(rec.Result.RTTs.Samples,
+			trace.RTTSample{RTT: time.Duration(90+i) * time.Millisecond})
+	}
+	rec.Loss = trace.LossReport{
+		PacketsSent: 1000, PacketsReceived: 985, PacketsLost: 15,
+		Events: []trace.LossEvent{{Burst: 3}, {Burst: 1}, {Burst: 11}},
+	}
+	c.Records = append(c.Records, rec)
+	return c
+}
+
+func fabMsg() *MsgCampaign {
+	return &MsgCampaign{
+		RTTsMs: []float64{48, 50, 52, 60, 70},
+		sent:   10000, lost: 40,
+		bursts: []int{1, 2, 40},
+		durs:   []float64{0.0001, 0.1},
+	}
+}
+
+func TestFigure3AndTable2Renderers(t *testing.T) {
+	down, up := fabH3(true), fabH3(false)
+	f3 := MakeFigure3(down, up)
+	if f3.Download.N != 50 || f3.Upload.N != 50 {
+		t.Fatalf("sample counts: %d/%d", f3.Download.N, f3.Upload.N)
+	}
+	var b strings.Builder
+	RenderFigure3(&b, f3)
+	t2 := MakeTable2(down, up, fabMsg(), fabMsg())
+	RenderTable2(&b, t2)
+	if t2.H3Down != 0.015 {
+		t.Errorf("loss ratio = %v, want 0.015", t2.H3Down)
+	}
+	if !strings.Contains(b.String(), "1.50%") {
+		t.Errorf("table output missing the loss percentage:\n%s", b.String())
+	}
+}
+
+func TestFigure4Renderer(t *testing.T) {
+	f := MakeFigure4("H3 transfers", []int{2, 3, 4, 1}, []int{1, 1, 1, 5})
+	if f.MultiPacketFracDown != 0.75 {
+		t.Errorf("multi-packet fraction = %v, want 0.75", f.MultiPacketFracDown)
+	}
+	if f.SinglePacketFracUp != 0.75 {
+		t.Errorf("single-packet fraction = %v, want 0.75", f.SinglePacketFracUp)
+	}
+	var b strings.Builder
+	RenderFigure4(&b, f)
+	if !strings.Contains(b.String(), "H3 transfers") {
+		t.Error("label missing")
+	}
+}
+
+func TestFigure5Renderer(t *testing.T) {
+	sl := []measure.SpeedtestResult{{DownloadMbps: 180, UploadMbps: 18}, {DownloadMbps: 160, UploadMbps: 16}}
+	sc := []measure.SpeedtestResult{{DownloadMbps: 84, UploadMbps: 4.5}}
+	f := MakeFigure5(sl, sc, fabH3(true), fabH3(false))
+	if f.StarlinkDown.P50 != 170 {
+		t.Errorf("starlink down median = %v", f.StarlinkDown.P50)
+	}
+	var b strings.Builder
+	RenderFigure5(&b, f)
+	for _, want := range []string{"starlink ookla down", "satcom ookla up", "starlink h3 down"} {
+		if !strings.Contains(b.String(), want) {
+			t.Errorf("figure 5 output missing %q", want)
+		}
+	}
+}
+
+func TestLossDurationsRenderer(t *testing.T) {
+	var b strings.Builder
+	LossDurations(&b, "test", []float64{0.000049, 0.0015, 0.0075})
+	out := b.String()
+	if !strings.Contains(out, "test") || !strings.Contains(out, "n=3") {
+		t.Errorf("output: %s", out)
+	}
+}

@@ -1,0 +1,143 @@
+package leo
+
+import (
+	"container/heap"
+	"time"
+
+	"starlinkperf/internal/geo"
+	"starlinkperf/internal/sim"
+)
+
+// ISLRouter computes shortest propagation paths through a constellation
+// using +Grid inter-satellite links: each satellite links to its two
+// in-plane neighbours and to the same-index satellite in the two adjacent
+// planes. The paper found ISLs *not* enabled during its campaign (bent
+// pipe, European exits even for Singapore); this router powers the
+// ablation bench showing what ISL activation would change.
+type ISLRouter struct {
+	shell    *Shell
+	shellIdx int
+}
+
+// NewISLRouter builds a router over a single shell of a constellation.
+func NewISLRouter(con *Constellation, shellIdx int) *ISLRouter {
+	return &ISLRouter{shell: con.Shells()[shellIdx], shellIdx: shellIdx}
+}
+
+type satNode struct {
+	plane, idx int
+}
+
+type pqItem struct {
+	node satNode
+	dist float64 // km
+}
+
+type pq []pqItem
+
+func (p pq) Len() int           { return len(p) }
+func (p pq) Less(i, j int) bool { return p[i].dist < p[j].dist }
+func (p pq) Swap(i, j int)      { p[i], p[j] = p[j], p[i] }
+func (p *pq) Push(x any)        { *p = append(*p, x.(pqItem)) }
+func (p *pq) Pop() any          { old := *p; n := len(old); it := old[n-1]; *p = old[:n-1]; return it }
+
+// PathDelay returns the one-way propagation delay from src to dst ground
+// positions at instant at, going up to the best visible satellite at each
+// end and across the +Grid ISL mesh, plus the number of ISL hops used.
+// ok=false when either endpoint has no visible satellite.
+func (r *ISLRouter) PathDelay(at sim.Time, src, dst geo.LatLon, minElevationDeg float64) (d time.Duration, islHops int, ok bool) {
+	cfg := r.shell.Config()
+	planes, per := cfg.Planes, cfg.SatsPerPlane
+
+	pos := make([]geo.ECEF, planes*per)
+	for p := 0; p < planes; p++ {
+		for i := 0; i < per; i++ {
+			pos[p*per+i] = r.shell.Position(p, i, at)
+		}
+	}
+	idxOf := func(n satNode) int { return n.plane*per + n.idx }
+
+	srcECEF, dstECEF := src.ToECEF(), dst.ToECEF()
+
+	// Entry candidates: satellites visible from src; exit: visible from dst.
+	type entry struct {
+		node satNode
+		up   float64
+	}
+	var entries []entry
+	exitUp := make(map[satNode]float64)
+	for p := 0; p < planes; p++ {
+		for i := 0; i < per; i++ {
+			if !r.shell.Enabled(p, i) {
+				continue
+			}
+			ll := pos[p*per+i].ToLatLon()
+			if geo.ElevationDeg(src, ll) >= minElevationDeg {
+				entries = append(entries, entry{satNode{p, i}, srcECEF.Distance(pos[p*per+i])})
+			}
+			if geo.ElevationDeg(dst, ll) >= minElevationDeg {
+				exitUp[satNode{p, i}] = dstECEF.Distance(pos[p*per+i])
+			}
+		}
+	}
+	if len(entries) == 0 || len(exitUp) == 0 {
+		return 0, 0, false
+	}
+
+	// Dijkstra over satellites, seeded with the uplink distances.
+	const inf = 1e18
+	dist := make([]float64, planes*per)
+	hops := make([]int, planes*per)
+	for i := range dist {
+		dist[i] = inf
+	}
+	var q pq
+	for _, e := range entries {
+		i := idxOf(e.node)
+		if e.up < dist[i] {
+			dist[i] = e.up
+			heap.Push(&q, pqItem{e.node, e.up})
+		}
+	}
+
+	neighbours := func(n satNode) []satNode {
+		return []satNode{
+			{n.plane, (n.idx + 1) % per},
+			{n.plane, (n.idx - 1 + per) % per},
+			{(n.plane + 1) % planes, n.idx},
+			{(n.plane - 1 + planes) % planes, n.idx},
+		}
+	}
+
+	bestTotal := inf
+	bestHops := 0
+	for q.Len() > 0 {
+		it := heap.Pop(&q).(pqItem)
+		i := idxOf(it.node)
+		if it.dist > dist[i] {
+			continue
+		}
+		if down, isExit := exitUp[it.node]; isExit {
+			if total := it.dist + down; total < bestTotal {
+				bestTotal = total
+				bestHops = hops[i]
+			}
+		}
+		for _, nb := range neighbours(it.node) {
+			if !r.shell.Enabled(nb.plane, nb.idx) {
+				continue
+			}
+			j := idxOf(nb)
+			nd := it.dist + pos[i].Distance(pos[j])
+			if nd < dist[j] {
+				dist[j] = nd
+				hops[j] = hops[i] + 1
+				heap.Push(&q, pqItem{nb, nd})
+			}
+		}
+	}
+	if bestTotal >= inf {
+		return 0, 0, false
+	}
+	return geo.RadioDelay(bestTotal), bestHops, true
+}

@@ -1,0 +1,225 @@
+package leo
+
+import (
+	"time"
+
+	"starlinkperf/internal/geo"
+	"starlinkperf/internal/sim"
+)
+
+// Gateway is a ground station that connects satellites to a terrestrial
+// point of presence. The paper observes Starlink traffic from Belgium
+// exiting in the Netherlands and Germany.
+type Gateway struct {
+	Name string
+	Pos  geo.LatLon
+	// PoP names the internet exchange the gateway feeds into.
+	PoP string
+	// MinElevationDeg is the gateway antenna mask.
+	MinElevationDeg float64
+}
+
+// TerminalConfig configures a user terminal.
+type TerminalConfig struct {
+	Pos geo.LatLon
+	// MinElevationDeg is the phased-array mask; Starlink dishes use 25°.
+	MinElevationDeg float64
+	// Epoch is the serving-satellite reallocation interval. Starlink
+	// reassigns every 15 s.
+	Epoch time.Duration
+}
+
+// DefaultTerminalConfig returns the dishy defaults at a position.
+func DefaultTerminalConfig(pos geo.LatLon) TerminalConfig {
+	return TerminalConfig{Pos: pos, MinElevationDeg: 25, Epoch: 15 * time.Second}
+}
+
+// Assignment is the serving satellite and gateway for one epoch.
+type Assignment struct {
+	Sat     SatID
+	Gateway int // index into the terminal's gateway list
+	OK      bool
+}
+
+// Terminal is a user terminal attached to a constellation. It selects a
+// serving satellite per epoch (highest elevation among satellites that can
+// also see a gateway) and exposes the resulting bent-pipe one-way delay as
+// a function of time, in the form netem links consume.
+//
+// Terminal is not safe for concurrent use; the simulation is
+// single-threaded.
+type Terminal struct {
+	cfg      TerminalConfig
+	con      *Constellation
+	gateways []Gateway
+
+	epochNS     int64
+	assignCache map[int64]Assignment
+
+	// delayCache memoizes the computed delay on a coarse time quantum:
+	// satellites move at ~7.5 km/s, so the slant range drifts by well
+	// under a microsecond of propagation per 100 ms quantum.
+	delayQuantumNS int64
+	delayCacheKey  int64
+	delayCacheVal  time.Duration
+	delayCacheOK   bool
+}
+
+// NewTerminal creates a terminal using the given constellation and
+// gateway set.
+func NewTerminal(cfg TerminalConfig, con *Constellation, gateways []Gateway) *Terminal {
+	if cfg.Epoch <= 0 {
+		cfg.Epoch = 15 * time.Second
+	}
+	return &Terminal{
+		cfg:            cfg,
+		con:            con,
+		gateways:       gateways,
+		epochNS:        int64(cfg.Epoch),
+		assignCache:    make(map[int64]Assignment),
+		delayQuantumNS: int64(100 * time.Millisecond),
+	}
+}
+
+// Config returns the terminal configuration.
+func (t *Terminal) Config() TerminalConfig { return t.cfg }
+
+// Gateways returns the gateway set.
+func (t *Terminal) Gateways() []Gateway { return t.gateways }
+
+// epochOf returns the epoch number containing instant at.
+func (t *Terminal) epochOf(at sim.Time) int64 { return int64(at) / t.epochNS }
+
+// AssignmentAt returns the serving assignment for the epoch containing at.
+func (t *Terminal) AssignmentAt(at sim.Time) Assignment {
+	ep := t.epochOf(at)
+	if a, ok := t.assignCache[ep]; ok {
+		return a
+	}
+	a := t.computeAssignment(sim.Time(ep * t.epochNS))
+	if len(t.assignCache) > 1<<16 {
+		// The cache is a memo, not state: dropping it only costs
+		// recomputation.
+		t.assignCache = make(map[int64]Assignment)
+	}
+	t.assignCache[ep] = a
+	return a
+}
+
+// computeAssignment selects, at the epoch start, the visible satellite
+// with the highest elevation from the terminal among those that can also
+// reach a gateway; ties in gateway choice go to the shortest downlink.
+func (t *Terminal) computeAssignment(at sim.Time) Assignment {
+	best := Assignment{}
+	bestElev := -1.0
+	t.con.ForEach(func(id SatID) {
+		satPos := t.con.Position(id, at)
+		satLL := satPos.ToLatLon()
+		elev := geo.ElevationDeg(t.cfg.Pos, satLL)
+		if elev < t.cfg.MinElevationDeg || elev <= bestElev {
+			return
+		}
+		gw := t.bestGateway(satLL, satPos)
+		if gw < 0 {
+			return
+		}
+		best = Assignment{Sat: id, Gateway: gw, OK: true}
+		bestElev = elev
+	})
+	return best
+}
+
+// bestGateway returns the index of the gateway with the shortest slant
+// range that sees the satellite above its mask, or -1.
+func (t *Terminal) bestGateway(satLL geo.LatLon, satPos geo.ECEF) int {
+	best := -1
+	bestRange := 0.0
+	for i, gw := range t.gateways {
+		mask := gw.MinElevationDeg
+		if mask == 0 {
+			mask = 10 // gateway dishes track lower than user terminals
+		}
+		if geo.ElevationDeg(gw.Pos, satLL) < mask {
+			continue
+		}
+		r := gw.Pos.ToECEF().Distance(satPos)
+		if best < 0 || r < bestRange {
+			best, bestRange = i, r
+		}
+	}
+	return best
+}
+
+// DelayAt returns the one-way bent-pipe propagation delay (terminal →
+// serving satellite → gateway) at instant at. When no satellite is
+// serving (constellation gap), it returns ok=false.
+func (t *Terminal) DelayAt(at sim.Time) (time.Duration, bool) {
+	q := int64(at) / t.delayQuantumNS
+	if t.delayCacheOK && q == t.delayCacheKey {
+		return t.delayCacheVal, t.delayCacheVal >= 0
+	}
+	a := t.AssignmentAt(at)
+	var d time.Duration = -1
+	if a.OK {
+		satPos := t.con.Position(a.Sat, at)
+		up := t.cfg.Pos.ToECEF().Distance(satPos)
+		down := satPos.Distance(t.gateways[a.Gateway].Pos.ToECEF())
+		d = geo.RadioDelay(up + down)
+	}
+	t.delayCacheKey, t.delayCacheVal, t.delayCacheOK = q, d, true
+	return d, d >= 0
+}
+
+// DelayFunc adapts the terminal to the netem link interface: instants
+// with no serving satellite fall back to fallback (packets in that window
+// are typically dropped by the outage schedule anyway).
+func (t *Terminal) DelayFunc(fallback time.Duration) func(sim.Time) time.Duration {
+	return func(at sim.Time) time.Duration {
+		if d, ok := t.DelayAt(at); ok {
+			return d
+		}
+		return fallback
+	}
+}
+
+// GatewayAt returns the gateway in use at an instant, or nil during gaps.
+func (t *Terminal) GatewayAt(at sim.Time) *Gateway {
+	a := t.AssignmentAt(at)
+	if !a.OK {
+		return nil
+	}
+	return &t.gateways[a.Gateway]
+}
+
+// Handover marks a serving-satellite change at an epoch boundary.
+type Handover struct {
+	At          sim.Time
+	From, To    Assignment
+	GatewayMove bool
+}
+
+// Handovers lists the serving-satellite changes in [start, end). The
+// campaign turns these into micro-outage schedules for the access link.
+func (t *Terminal) Handovers(start, end sim.Time) []Handover {
+	var out []Handover
+	first := t.epochOf(start) + 1
+	last := t.epochOf(end)
+	prev := t.AssignmentAt(sim.Time((first - 1) * t.epochNS))
+	for ep := first; ep <= last; ep++ {
+		at := sim.Time(ep * t.epochNS)
+		if at >= end {
+			break
+		}
+		cur := t.AssignmentAt(at)
+		if cur != prev {
+			out = append(out, Handover{
+				At:          at,
+				From:        prev,
+				To:          cur,
+				GatewayMove: cur.Gateway != prev.Gateway,
+			})
+		}
+		prev = cur
+	}
+	return out
+}

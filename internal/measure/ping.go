@@ -1,0 +1,144 @@
+// Package measure implements the paper's measurement tools over the
+// emulated network: an ICMP prober (ping), traceroute, a Tracebox-style
+// middlebox detector with PEP detection, an Ookla-style parallel-TCP
+// speedtest, and the QUIC bulk (HTTP/3-like) and low-rate message
+// workloads with capture hooks.
+package measure
+
+import (
+	"time"
+
+	"starlinkperf/internal/netem"
+	"starlinkperf/internal/sim"
+)
+
+// Prober owns a node's ICMP handler and demultiplexes echo replies and
+// quoted errors to the measurement in progress. One Prober per node.
+type Prober struct {
+	node    *netem.Node
+	sched   *sim.Scheduler
+	nextSeq int
+	icmpID  uint16
+	echoCBs map[int]*echoWait
+	// errCB receives quoted ICMP errors (time-exceeded, unreachable)
+	// for the single outstanding TTL-limited probe.
+	errCB func(pkt *netem.Packet)
+	// tcpReply receives TCP answers to raw PEP-detection probes.
+	tcpReply func(pkt *netem.Packet)
+}
+
+type echoWait struct {
+	sentAt  sim.Time
+	cb      func(rtt time.Duration, ok bool)
+	timeout *sim.Timer
+}
+
+// NewProber binds the prober to the node's ICMP traffic.
+func NewProber(node *netem.Node) *Prober {
+	p := &Prober{
+		node:    node,
+		sched:   node.Scheduler(),
+		echoCBs: make(map[int]*echoWait),
+		icmpID:  100,
+	}
+	node.Bind(netem.ProtoICMP, 0, p.receive)
+	return p
+}
+
+// Node returns the prober's node.
+func (p *Prober) Node() *netem.Node { return p.node }
+
+func (p *Prober) receive(pkt *netem.Packet) {
+	icmp, ok := pkt.Payload.(*netem.ICMP)
+	if !ok {
+		return
+	}
+	switch icmp.Type {
+	case netem.ICMPEchoReply:
+		if w, ok := p.echoCBs[icmp.Seq]; ok {
+			delete(p.echoCBs, icmp.Seq)
+			w.timeout.Stop()
+			w.cb(p.sched.Now().Sub(w.sentAt), true)
+		}
+	case netem.ICMPTimeExceeded, netem.ICMPDestUnreachable:
+		if p.errCB != nil {
+			p.errCB(pkt)
+		}
+	}
+}
+
+// PingTimeout is how long an echo waits before it counts as lost.
+const PingTimeout = 3 * time.Second
+
+// Echo sends one ICMP echo request; cb runs exactly once with the RTT or
+// ok=false on timeout.
+func (p *Prober) Echo(dst netem.Addr, size int, cb func(rtt time.Duration, ok bool)) {
+	seq := p.nextSeq
+	p.nextSeq++
+	w := &echoWait{sentAt: p.sched.Now(), cb: cb}
+	w.timeout = p.sched.After(PingTimeout, func() {
+		if _, pending := p.echoCBs[seq]; pending {
+			delete(p.echoCBs, seq)
+			cb(0, false)
+		}
+	})
+	p.echoCBs[seq] = w
+	p.node.Send(&netem.Packet{
+		Dst:     dst,
+		SrcPort: p.icmpID, // fixed ICMP identifier, like real ping: one NAT mapping per prober
+		Proto:   netem.ProtoICMP,
+		Size:    size,
+		Payload: &netem.ICMP{Type: netem.ICMPEchoRequest, Seq: seq},
+	})
+}
+
+// PingResult is one ping measurement.
+type PingResult struct {
+	Target netem.Addr
+	At     sim.Time
+	RTT    time.Duration
+	OK     bool
+}
+
+// Ping sends count echoes back-to-back (like `ping -c count`) and calls
+// done with all results once the last reply or timeout lands.
+func (p *Prober) Ping(dst netem.Addr, count int, done func([]PingResult)) {
+	results := make([]PingResult, 0, count)
+	var next func(i int)
+	next = func(i int) {
+		if i >= count {
+			done(results)
+			return
+		}
+		at := p.sched.Now()
+		p.Echo(dst, 64, func(rtt time.Duration, ok bool) {
+			results = append(results, PingResult{Target: dst, At: at, RTT: rtt, OK: ok})
+			// Standard ping spaces probes by 1s; a reply arriving
+			// earlier advances immediately in flood-less fashion.
+			next(i + 1)
+		})
+	}
+	next(0)
+}
+
+// Monitor runs the paper's anchor campaign: every interval, ping each
+// target probes times, delivering each result to onResult. It stops when
+// the scheduler passes `until`.
+func (p *Prober) Monitor(targets []netem.Addr, interval time.Duration, probes int, until sim.Time, onResult func(PingResult)) {
+	var round func()
+	round = func() {
+		if p.sched.Now() >= until {
+			return
+		}
+		for _, dst := range targets {
+			dst := dst
+			p.Ping(dst, probes, func(rs []PingResult) {
+				for _, r := range rs {
+					onResult(r)
+				}
+			})
+		}
+		p.sched.After(interval, round)
+	}
+	round()
+}

@@ -1,0 +1,97 @@
+package measure
+
+import (
+	"testing"
+	"time"
+
+	"starlinkperf/internal/netem"
+	"starlinkperf/internal/sim"
+)
+
+func TestEchoTimeoutFiresOnce(t *testing.T) {
+	s := sim.NewScheduler(1)
+	nw := netem.New(s)
+	a := nw.NewNode("a", netem.MustParseAddr("10.0.0.1"))
+	// No route at all: the echo is answered with dest-unreachable to
+	// nowhere; the prober must time out exactly once.
+	p := NewProber(a)
+	calls := 0
+	p.Echo(netem.MustParseAddr("10.9.9.9"), 64, func(rtt time.Duration, ok bool) {
+		calls++
+		if ok {
+			t.Error("echo into the void reported success")
+		}
+	})
+	s.RunFor(10 * time.Second)
+	if calls != 1 {
+		t.Fatalf("callback ran %d times, want exactly 1", calls)
+	}
+}
+
+func TestConcurrentEchoesDemux(t *testing.T) {
+	s := sim.NewScheduler(2)
+	nw := netem.New(s)
+	a := nw.NewNode("a", netem.MustParseAddr("10.0.0.1"))
+	b := nw.NewNode("b", netem.MustParseAddr("10.0.0.2"))
+	c := nw.NewNode("c", netem.MustParseAddr("10.0.0.3"))
+	ab, ba := nw.Connect(a, b, netem.LinkConfig{Delay: netem.ConstantDelay(30 * time.Millisecond)})
+	ac, ca := nw.Connect(a, c, netem.LinkConfig{Delay: netem.ConstantDelay(5 * time.Millisecond)})
+	a.AddRoute(b.Addr(), ab)
+	a.AddRoute(c.Addr(), ac)
+	b.SetDefaultRoute(ba)
+	c.SetDefaultRoute(ca)
+	b.EchoResponder = true
+	c.EchoResponder = true
+
+	p := NewProber(a)
+	var rttB, rttC time.Duration
+	p.Echo(b.Addr(), 64, func(rtt time.Duration, ok bool) { rttB = rtt })
+	p.Echo(c.Addr(), 64, func(rtt time.Duration, ok bool) { rttC = rtt })
+	s.RunFor(5 * time.Second)
+
+	if rttB != 60*time.Millisecond || rttC != 10*time.Millisecond {
+		t.Fatalf("rtts = %v / %v: concurrent echoes crossed wires", rttB, rttC)
+	}
+}
+
+func TestTracerouteTimeoutHop(t *testing.T) {
+	s := sim.NewScheduler(3)
+	nw := netem.New(s)
+	a := nw.NewNode("a", netem.MustParseAddr("10.0.0.1"))
+	r := nw.NewNode("r", netem.MustParseAddr("10.0.0.2"))
+	b := nw.NewNode("b", netem.MustParseAddr("10.0.0.3"))
+	ar, ra := nw.Connect(a, r, netem.LinkConfig{Delay: netem.ConstantDelay(time.Millisecond)})
+	rb, br := nw.Connect(r, b, netem.LinkConfig{Delay: netem.ConstantDelay(time.Millisecond)})
+	a.SetDefaultRoute(ar)
+	r.AddRoute(a.Addr(), ra)
+	r.SetDefaultRoute(rb)
+	b.SetDefaultRoute(br)
+	// The middle router silently eats its own ICMP errors: simulate a
+	// non-responding hop by making r drop ICMP it originates.
+	r.AttachDevice(netem.DeviceFunc(func(n *netem.Node, pkt *netem.Packet) bool {
+		return true
+	}))
+	// Silencing r properly: drop time-exceeded packets sourced at r on a.
+	a.AttachDevice(netem.DeviceFunc(func(n *netem.Node, pkt *netem.Packet) bool {
+		if pkt.Proto == netem.ProtoICMP && pkt.Src == r.Addr() {
+			if ic, ok := pkt.Payload.(*netem.ICMP); ok && ic.Type == netem.ICMPTimeExceeded {
+				return false
+			}
+		}
+		return true
+	}))
+
+	p := NewProber(a)
+	var hops []Hop
+	p.Traceroute(b.Addr(), 8, func(hs []Hop) { hops = hs })
+	s.RunFor(time.Minute)
+	if len(hops) != 2 {
+		t.Fatalf("hops = %d, want 2 (* then destination)", len(hops))
+	}
+	if !hops[0].Timeout {
+		t.Error("hop 1 should be a timeout (*)")
+	}
+	if !hops[1].Reached {
+		t.Error("hop 2 should reach the destination")
+	}
+}

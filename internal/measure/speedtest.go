@@ -1,0 +1,189 @@
+package measure
+
+import (
+	"time"
+
+	"starlinkperf/internal/netem"
+	"starlinkperf/internal/sim"
+	"starlinkperf/internal/tcpsim"
+)
+
+// Speedtest ports: one service pushes (download test), the other sinks
+// (upload test).
+const (
+	SpeedtestDownPort = 8080
+	SpeedtestUpPort   = 8081
+)
+
+// SpeedtestServer hosts the two speedtest services on a node.
+type SpeedtestServer struct {
+	Node *netem.Node
+}
+
+// NewSpeedtestServer installs the download and upload services. The
+// download service pushes bytes until the client aborts; the upload
+// service sinks whatever arrives.
+func NewSpeedtestServer(node *netem.Node, cfg tcpsim.Config) *SpeedtestServer {
+	// Push service: on connect, keep ~4 MB of send backlog queued.
+	tcpsim.Listen(node, SpeedtestDownPort, cfg, func(c *tcpsim.Conn) {
+		sched := node.Scheduler()
+		var top func()
+		top = func() {
+			if c.State() == tcpsim.StateClosed {
+				return
+			}
+			c.Write(4 << 20)
+			sched.After(100*time.Millisecond, top)
+		}
+		c.OnEstablished = func() { top() }
+	})
+	// Sink service: nothing to do; the conn counts delivery itself.
+	tcpsim.Listen(node, SpeedtestUpPort, cfg, nil)
+	return &SpeedtestServer{Node: node}
+}
+
+// SpeedtestConfig parameterizes a client test run, following the Ookla
+// CLI's shape: several parallel TCP connections, a warmup that is
+// excluded from the measurement, and a fixed measuring window.
+type SpeedtestConfig struct {
+	// Connections is the number of parallel TCP connections (Ookla uses
+	// at least 4).
+	Connections int
+	// Warmup is excluded from the rate computation (ramp-up).
+	Warmup time.Duration
+	// Window is the measured interval after warmup.
+	Window time.Duration
+	// TCP is the client TCP configuration.
+	TCP tcpsim.Config
+}
+
+// DefaultSpeedtestConfig mirrors the Ookla CLI defaults.
+func DefaultSpeedtestConfig() SpeedtestConfig {
+	cfg := tcpsim.DefaultConfig()
+	cfg.TLSRounds = 1
+	return SpeedtestConfig{
+		Connections: 4,
+		Warmup:      2 * time.Second,
+		Window:      10 * time.Second,
+		TCP:         cfg,
+	}
+}
+
+// SpeedtestResult is one test outcome.
+type SpeedtestResult struct {
+	At           sim.Time
+	Server       netem.Addr
+	DownloadMbps float64
+	UploadMbps   float64
+	PingRTT      time.Duration
+}
+
+// RunSpeedtest selects the nearest server by ping, then measures download
+// and upload back to back, delivering the result to done.
+func RunSpeedtest(p *Prober, servers []netem.Addr, cfg SpeedtestConfig, done func(SpeedtestResult)) {
+	if len(servers) == 0 {
+		done(SpeedtestResult{})
+		return
+	}
+	// Probe all candidates, pick the lowest RTT (the Ookla selection).
+	type cand struct {
+		addr netem.Addr
+		rtt  time.Duration
+		ok   bool
+	}
+	cands := make([]cand, len(servers))
+	remaining := len(servers)
+	for i, srv := range servers {
+		i, srv := i, srv
+		p.Echo(srv, 64, func(rtt time.Duration, ok bool) {
+			cands[i] = cand{addr: srv, rtt: rtt, ok: ok}
+			remaining--
+			if remaining == 0 {
+				best := -1
+				for j, c := range cands {
+					if c.ok && (best < 0 || c.rtt < cands[best].rtt) {
+						best = j
+					}
+				}
+				if best < 0 {
+					done(SpeedtestResult{At: p.sched.Now()})
+					return
+				}
+				runAgainst(p, cands[best].addr, cands[best].rtt, cfg, done)
+			}
+		})
+	}
+}
+
+func runAgainst(p *Prober, server netem.Addr, rtt time.Duration, cfg SpeedtestConfig, done func(SpeedtestResult)) {
+	res := SpeedtestResult{At: p.sched.Now(), Server: server, PingRTT: rtt}
+	measureDirection(p.node, server, SpeedtestDownPort, cfg, false, func(mbps float64) {
+		res.DownloadMbps = mbps
+		measureDirection(p.node, server, SpeedtestUpPort, cfg, true, func(mbps float64) {
+			res.UploadMbps = mbps
+			done(res)
+		})
+	})
+}
+
+// measureDirection opens cfg.Connections parallel connections and counts
+// delivered application bytes in the measuring window. For uploads the
+// client pushes and counts acknowledged bytes at the sender.
+func measureDirection(node *netem.Node, server netem.Addr, port uint16, cfg SpeedtestConfig, upload bool, done func(mbps float64)) {
+	sched := node.Scheduler()
+	n := cfg.Connections
+	if n <= 0 {
+		n = 4
+	}
+	conns := make([]*tcpsim.Conn, 0, n)
+	var measuring bool
+	var bytes uint64
+
+	for i := 0; i < n; i++ {
+		c := tcpsim.Dial(node, server, port, cfg.TCP)
+		conns = append(conns, c)
+		if upload {
+			c.OnEstablished = func() {
+				var top func()
+				top = func() {
+					if c.State() == tcpsim.StateClosed {
+						return
+					}
+					c.Write(4 << 20)
+					sched.After(100*time.Millisecond, top)
+				}
+				top()
+			}
+			// Count bytes the server acknowledged: sample snd.una growth.
+		} else {
+			c.OnData = func(nn int, fin bool) {
+				if measuring {
+					bytes += uint64(nn)
+				}
+			}
+		}
+	}
+
+	var unaAtStart []uint64
+	sched.After(cfg.Warmup, func() {
+		measuring = true
+		if upload {
+			unaAtStart = make([]uint64, len(conns))
+			for i, c := range conns {
+				unaAtStart[i] = c.DebugUna()
+			}
+		}
+		sched.After(cfg.Window, func() {
+			measuring = false
+			if upload {
+				for i, c := range conns {
+					bytes += c.DebugUna() - unaAtStart[i]
+				}
+			}
+			for _, c := range conns {
+				c.Abort()
+			}
+			done(float64(bytes) * 8 / cfg.Window.Seconds() / 1e6)
+		})
+	})
+}

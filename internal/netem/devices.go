@@ -1,0 +1,70 @@
+package netem
+
+import (
+	"time"
+
+	"starlinkperf/internal/sim"
+)
+
+// TokenBucketShaper is a Device that polices traffic matching a predicate
+// to a target rate, dropping excess packets. Operators that throttle
+// specific services (the behaviour Wehe detects) are modeled by attaching
+// one of these with a classifier for the targeted traffic.
+type TokenBucketShaper struct {
+	// RateBps is the policed rate in bits per second.
+	RateBps float64
+	// BurstBytes is the bucket depth.
+	BurstBytes float64
+	// Match selects the packets subject to policing; nil matches all.
+	Match func(pkt *Packet) bool
+
+	tokens   float64
+	lastFill sim.Time
+	primed   bool
+	Dropped  uint64
+}
+
+// Process implements Device.
+func (t *TokenBucketShaper) Process(n *Node, pkt *Packet) bool {
+	if t.Match != nil && !t.Match(pkt) {
+		return true
+	}
+	if !t.primed {
+		// The bucket starts full, like a freshly configured policer.
+		t.tokens = t.BurstBytes
+		t.primed = true
+	}
+	now := n.Scheduler().Now()
+	elapsed := now.Sub(t.lastFill)
+	t.lastFill = now
+	t.tokens += t.RateBps / 8 * elapsed.Seconds()
+	if t.tokens > t.BurstBytes {
+		t.tokens = t.BurstBytes
+	}
+	if t.tokens < float64(pkt.Size) {
+		t.Dropped++
+		return false
+	}
+	t.tokens -= float64(pkt.Size)
+	return true
+}
+
+// DeviceFunc adapts a function to the Device interface.
+type DeviceFunc func(n *Node, pkt *Packet) bool
+
+// Process implements Device.
+func (f DeviceFunc) Process(n *Node, pkt *Packet) bool { return f(n, pkt) }
+
+// DelayJitterFunc builds a Jitter function drawing i.i.d. non-negative
+// delays: a half-normal with the given scale. Access-network schedulers
+// (Starlink's 15 s frame allocation, Wi-Fi retransmissions, ...) add this
+// kind of positive-only jitter on top of geometric propagation.
+func DelayJitterFunc(rng *sim.RNG, scale time.Duration) func(sim.Time) time.Duration {
+	return func(sim.Time) time.Duration {
+		v := rng.NormFloat64()
+		if v < 0 {
+			v = -v
+		}
+		return time.Duration(v * float64(scale))
+	}
+}

@@ -1,0 +1,196 @@
+package netem
+
+import (
+	"time"
+
+	"starlinkperf/internal/sim"
+)
+
+// DelayFunc returns the one-way propagation delay of a link at a given
+// instant. LEO access links vary with satellite motion; terrestrial links
+// are constant.
+type DelayFunc func(now sim.Time) time.Duration
+
+// ConstantDelay returns a DelayFunc with a fixed delay.
+func ConstantDelay(d time.Duration) DelayFunc {
+	return func(sim.Time) time.Duration { return d }
+}
+
+// LinkConfig describes one direction of a link.
+type LinkConfig struct {
+	// RateBps is the serialization rate in bits per second; 0 means
+	// infinitely fast (no serialization delay, no queue buildup).
+	RateBps float64
+	// Delay is the propagation delay; nil means zero.
+	Delay DelayFunc
+	// QueueBytes caps the DropTail egress queue (including the packet in
+	// service); 0 means unbounded.
+	QueueBytes int
+	// Loss is the medium loss process applied as packets leave the
+	// queue; nil means lossless.
+	Loss LossModel
+	// Down reports link outage at an instant; packets finishing
+	// serialization during an outage are dropped. nil means always up.
+	Down func(now sim.Time) bool
+	// Jitter, if non-nil, returns an extra per-packet propagation delay
+	// (e.g. LEO scheduling jitter). It must be non-negative.
+	Jitter func(now sim.Time) time.Duration
+}
+
+// DropReason classifies why a link dropped a packet.
+type DropReason uint8
+
+// Drop reasons, distinguished because the paper distinguishes congestion
+// losses (queue overflow under load) from medium losses and outages.
+const (
+	DropQueueFull DropReason = iota
+	DropMedium
+	DropOutage
+	DropTTL
+	DropNoRoute
+)
+
+// String implements fmt.Stringer.
+func (r DropReason) String() string {
+	switch r {
+	case DropQueueFull:
+		return "queue-full"
+	case DropMedium:
+		return "medium"
+	case DropOutage:
+		return "outage"
+	case DropTTL:
+		return "ttl"
+	case DropNoRoute:
+		return "no-route"
+	default:
+		return "drop?"
+	}
+}
+
+// LinkStats counts link activity.
+type LinkStats struct {
+	Sent       uint64 // packets accepted for transmission
+	Delivered  uint64 // packets handed to the far node
+	DropsQueue uint64
+	DropsLoss  uint64
+	DropsDown  uint64
+	QueuedPeak int // peak queue occupancy in bytes
+}
+
+// Link is one direction of a connection between two nodes.
+type Link struct {
+	name string
+	net  *Network
+	to   *Node
+	cfg  LinkConfig
+
+	busyUntil   sim.Time
+	queuedBytes int
+	lastArrival sim.Time
+	stats       LinkStats
+
+	// DropHook, when set, observes every packet the link drops.
+	DropHook func(now sim.Time, pkt *Packet, reason DropReason)
+	// DeliverHook, when set, observes every packet as it arrives at the
+	// far node (after propagation). Captures attach here.
+	DeliverHook func(now sim.Time, pkt *Packet)
+}
+
+// Name returns the link's diagnostic name ("a->b").
+func (l *Link) Name() string { return l.name }
+
+// Stats returns a copy of the link counters.
+func (l *Link) Stats() LinkStats { return l.stats }
+
+// QueuedBytes returns the current egress queue occupancy.
+func (l *Link) QueuedBytes() int { return l.queuedBytes }
+
+// SetLoss replaces the link's medium loss model.
+func (l *Link) SetLoss(m LossModel) { l.cfg.Loss = m }
+
+// SetRate replaces the link's serialization rate.
+func (l *Link) SetRate(bps float64) { l.cfg.RateBps = bps }
+
+// SetDown replaces the link's outage predicate.
+func (l *Link) SetDown(down func(sim.Time) bool) { l.cfg.Down = down }
+
+// Config returns the link configuration (by value).
+func (l *Link) Config() LinkConfig { return l.cfg }
+
+// send enqueues pkt for transmission. Queue overflow drops immediately
+// (congestion loss); otherwise the packet serializes FIFO at the link
+// rate, may be lost to the medium or an outage at the end of
+// serialization, and is delivered to the far node after propagation.
+func (l *Link) send(pkt *Packet) {
+	s := l.net.sched
+	now := s.Now()
+
+	if l.cfg.QueueBytes > 0 && l.queuedBytes+pkt.Size > l.cfg.QueueBytes {
+		l.stats.DropsQueue++
+		l.drop(now, pkt, DropQueueFull)
+		return
+	}
+
+	var txDone sim.Time
+	if l.cfg.RateBps > 0 {
+		tx := time.Duration(float64(pkt.Size*8) / l.cfg.RateBps * float64(time.Second))
+		start := now
+		if l.busyUntil > start {
+			start = l.busyUntil
+		}
+		txDone = start.Add(tx)
+		l.busyUntil = txDone
+		l.queuedBytes += pkt.Size
+		if l.queuedBytes > l.stats.QueuedPeak {
+			l.stats.QueuedPeak = l.queuedBytes
+		}
+	} else {
+		txDone = now
+	}
+	l.stats.Sent++
+
+	s.At(txDone, func() {
+		if l.cfg.RateBps > 0 {
+			l.queuedBytes -= pkt.Size
+		}
+		at := s.Now()
+		if l.cfg.Down != nil && l.cfg.Down(at) {
+			l.stats.DropsDown++
+			l.drop(at, pkt, DropOutage)
+			return
+		}
+		if l.cfg.Loss != nil && l.cfg.Loss.Lost(at) {
+			l.stats.DropsLoss++
+			l.drop(at, pkt, DropMedium)
+			return
+		}
+		var prop time.Duration
+		if l.cfg.Delay != nil {
+			prop = l.cfg.Delay(at)
+		}
+		if l.cfg.Jitter != nil {
+			prop += l.cfg.Jitter(at)
+		}
+		arrival := at.Add(prop)
+		// A link is a FIFO pipe: jitter and shrinking path delays must
+		// not reorder packets in flight.
+		if arrival < l.lastArrival {
+			arrival = l.lastArrival
+		}
+		l.lastArrival = arrival
+		s.At(arrival, func() {
+			l.stats.Delivered++
+			if l.DeliverHook != nil {
+				l.DeliverHook(s.Now(), pkt)
+			}
+			l.to.receive(pkt)
+		})
+	})
+}
+
+func (l *Link) drop(now sim.Time, pkt *Packet, reason DropReason) {
+	if l.DropHook != nil {
+		l.DropHook(now, pkt, reason)
+	}
+}

@@ -1,0 +1,92 @@
+package netem
+
+import (
+	"fmt"
+
+	"starlinkperf/internal/sim"
+)
+
+// Network owns the nodes and links of an emulated internetwork and the
+// simulation scheduler driving them.
+type Network struct {
+	sched    *sim.Scheduler
+	nodes    map[Addr]*Node
+	byName   map[string]*Node
+	links    []*Link
+	packetID uint64
+}
+
+// New creates an empty network on the given scheduler.
+func New(sched *sim.Scheduler) *Network {
+	return &Network{
+		sched:  sched,
+		nodes:  make(map[Addr]*Node),
+		byName: make(map[string]*Node),
+	}
+}
+
+// Scheduler returns the simulation scheduler.
+func (nw *Network) Scheduler() *sim.Scheduler { return nw.sched }
+
+// Now returns the current virtual time.
+func (nw *Network) Now() sim.Time { return nw.sched.Now() }
+
+// NewNode creates and registers a node. Names and addresses must be
+// unique within the network.
+func (nw *Network) NewNode(name string, addr Addr) *Node {
+	if _, dup := nw.nodes[addr]; dup {
+		panic(fmt.Sprintf("netem: duplicate node address %v", addr))
+	}
+	if _, dup := nw.byName[name]; dup {
+		panic(fmt.Sprintf("netem: duplicate node name %q", name))
+	}
+	n := &Node{
+		name:     name,
+		addr:     addr,
+		net:      nw,
+		routes:   make(map[Addr]*Link),
+		handlers: make(map[protoPort]Handler),
+	}
+	nw.nodes[addr] = n
+	nw.byName[name] = n
+	return n
+}
+
+// Node returns the node with the given address, or nil.
+func (nw *Network) Node(addr Addr) *Node { return nw.nodes[addr] }
+
+// NodeByName returns the node with the given name, or nil.
+func (nw *Network) NodeByName(name string) *Node { return nw.byName[name] }
+
+// Links returns all links (for stats aggregation).
+func (nw *Network) Links() []*Link { return nw.links }
+
+// AddLink creates a unidirectional link from a to b with the given
+// configuration. The caller still has to install routes that use it.
+func (nw *Network) AddLink(from, to *Node, cfg LinkConfig) *Link {
+	l := &Link{
+		name: from.name + "->" + to.name,
+		net:  nw,
+		to:   to,
+		cfg:  cfg,
+	}
+	nw.links = append(nw.links, l)
+	return l
+}
+
+// Connect creates a symmetric pair of links between a and b (same config
+// both ways) and returns (a->b, b->a).
+func (nw *Network) Connect(a, b *Node, cfg LinkConfig) (*Link, *Link) {
+	return nw.AddLink(a, b, cfg), nw.AddLink(b, a, cfg)
+}
+
+// ConnectAsym creates an asymmetric pair of links — the common case for
+// access networks (Starlink: ~200 Mbit/s down, ~20 Mbit/s up).
+func (nw *Network) ConnectAsym(a, b *Node, ab, ba LinkConfig) (*Link, *Link) {
+	return nw.AddLink(a, b, ab), nw.AddLink(b, a, ba)
+}
+
+func (nw *Network) nextPacketID() uint64 {
+	nw.packetID++
+	return nw.packetID
+}

@@ -1,0 +1,249 @@
+package netem
+
+import (
+	"fmt"
+
+	"starlinkperf/internal/sim"
+)
+
+// Handler receives packets delivered to a bound (proto, port) of a node.
+type Handler func(pkt *Packet)
+
+// Device is a middlebox function attached to a node. Devices see every
+// packet the node touches (transit and locally addressed) on ingress,
+// before TTL processing and delivery; they may rewrite the packet,
+// swallow it, or let it pass.
+type Device interface {
+	// Process handles pkt at node n. Returning forward=false consumes
+	// the packet (the device either dropped it or took ownership, e.g. a
+	// PEP terminating a TCP connection).
+	Process(n *Node, pkt *Packet) (forward bool)
+}
+
+// EgressDevice is the optional second middlebox phase, run as packets
+// leave the node (after TTL handling and ICMP error generation) — the
+// POSTROUTING hook where source NAT happens on real routers, which is
+// why TTL-expired probes are quoted with pre-NAT headers by the NAT
+// itself but post-NAT headers by everything beyond it.
+type EgressDevice interface {
+	ProcessEgress(n *Node, pkt *Packet) (forward bool)
+}
+
+type protoPort struct {
+	proto Proto
+	port  uint16
+}
+
+// Node is a host or router in the emulated network.
+type Node struct {
+	name string
+	addr Addr
+	net  *Network
+
+	routes       map[Addr]*Link
+	prefixRoutes []prefixRoute
+	defaultRoute *Link
+
+	devices  []Device
+	handlers map[protoPort]Handler
+
+	// EchoResponder makes the node answer ICMP echo requests, like the
+	// RIPE anchors and speedtest servers do.
+	EchoResponder bool
+
+	// Forwarded counts transit packets; Delivered counts local ones.
+	Forwarded uint64
+	Delivered uint64
+}
+
+type prefixRoute struct {
+	prefix Addr
+	bits   int
+	link   *Link
+}
+
+// Name returns the node name.
+func (n *Node) Name() string { return n.name }
+
+// Addr returns the node address.
+func (n *Node) Addr() Addr { return n.addr }
+
+// Network returns the owning network.
+func (n *Node) Network() *Network { return n.net }
+
+// Scheduler returns the simulation scheduler, for transports that need
+// timers.
+func (n *Node) Scheduler() *sim.Scheduler { return n.net.sched }
+
+// AddRoute installs an exact-destination route.
+func (n *Node) AddRoute(dst Addr, via *Link) { n.routes[dst] = via }
+
+// AddPrefixRoute installs a route for a prefix of the given bit length.
+// Longest prefix wins; exact routes beat prefix routes.
+func (n *Node) AddPrefixRoute(prefix Addr, bits int, via *Link) {
+	n.prefixRoutes = append(n.prefixRoutes, prefixRoute{prefix: prefix, bits: bits, link: via})
+}
+
+// SetDefaultRoute installs the fallback route.
+func (n *Node) SetDefaultRoute(via *Link) { n.defaultRoute = via }
+
+// AttachDevice appends a middlebox device to the node's processing chain.
+func (n *Node) AttachDevice(d Device) { n.devices = append(n.devices, d) }
+
+// Bind registers a handler for packets addressed to this node with the
+// given protocol and destination port. Port 0 binds all ports of the
+// protocol (used by ICMP).
+func (n *Node) Bind(proto Proto, port uint16, h Handler) {
+	key := protoPort{proto, port}
+	if _, dup := n.handlers[key]; dup {
+		panic(fmt.Sprintf("netem: %s: duplicate bind %v port %d", n.name, proto, port))
+	}
+	n.handlers[key] = h
+}
+
+// Unbind removes a handler installed with Bind.
+func (n *Node) Unbind(proto Proto, port uint16) {
+	delete(n.handlers, protoPort{proto, port})
+}
+
+// Send originates a packet from this node: it stamps defaults (TTL,
+// checksum, send time, unique ID) and routes it.
+func (n *Node) Send(pkt *Packet) {
+	if pkt.TTL == 0 {
+		pkt.TTL = DefaultTTL
+	}
+	if pkt.Src == 0 {
+		pkt.Src = n.addr
+	}
+	pkt.ID = n.net.nextPacketID()
+	pkt.SentAt = n.net.sched.Now()
+	pkt.FixChecksum()
+	n.route(pkt)
+}
+
+// receive processes a packet arriving at this node from a link.
+func (n *Node) receive(pkt *Packet) {
+	pkt.Hops = append(pkt.Hops, n.addr)
+
+	for _, d := range n.devices {
+		if !d.Process(n, pkt) {
+			return
+		}
+	}
+
+	if pkt.Dst == n.addr {
+		n.deliver(pkt)
+		return
+	}
+
+	// Transit: decrement TTL, expire if needed, forward.
+	pkt.TTL--
+	if pkt.TTL <= 0 {
+		n.sendICMPError(pkt, ICMPTimeExceeded)
+		return
+	}
+	n.Forwarded++
+	n.route(pkt)
+}
+
+func (n *Node) deliver(pkt *Packet) {
+	n.Delivered++
+	if pkt.Proto == ProtoICMP && n.EchoResponder {
+		if icmp, ok := pkt.Payload.(*ICMP); ok && icmp.Type == ICMPEchoRequest {
+			// Mirror the port pair so translators can map the reply
+			// back (the ICMP identifier rides in the port fields).
+			n.Send(&Packet{
+				Dst:     pkt.Src,
+				DstPort: pkt.SrcPort,
+				SrcPort: pkt.DstPort,
+				Proto:   ProtoICMP,
+				Size:    pkt.Size,
+				Payload: &ICMP{Type: ICMPEchoReply, Seq: icmp.Seq, Data: icmp.Data},
+			})
+			return
+		}
+	}
+	if h, ok := n.handlers[protoPort{pkt.Proto, pkt.DstPort}]; ok {
+		h(pkt)
+		return
+	}
+	if h, ok := n.handlers[protoPort{pkt.Proto, 0}]; ok {
+		h(pkt)
+		return
+	}
+	// No listener: a real host would answer TCP with RST and UDP with
+	// port unreachable; the emulator folds both into DestUnreachable.
+	if pkt.Proto != ProtoICMP {
+		n.sendICMPError(pkt, ICMPDestUnreachable)
+	}
+}
+
+// sendICMPError emits an ICMP error quoting the offending packet as this
+// node observed it (post any NAT rewriting upstream — which is exactly
+// what lets Tracebox detect those NATs).
+func (n *Node) sendICMPError(offending *Packet, t ICMPType) {
+	if offending.Proto == ProtoICMP {
+		if icmp, ok := offending.Payload.(*ICMP); ok &&
+			(icmp.Type == ICMPTimeExceeded || icmp.Type == ICMPDestUnreachable) {
+			return // never ICMP-error an ICMP error
+		}
+	}
+	n.Send(&Packet{
+		Dst:     offending.Src,
+		Proto:   ProtoICMP,
+		Size:    64,
+		Payload: &ICMP{Type: t, Quoted: offending.Clone()},
+	})
+}
+
+// route forwards pkt out of the best matching route. Packets without a
+// route are answered with DestUnreachable to the source.
+func (n *Node) route(pkt *Packet) {
+	if pkt.Dst == n.addr {
+		// Locally addressed packet "sent" by this node: deliver
+		// directly (loopback).
+		n.deliver(pkt)
+		return
+	}
+	for _, d := range n.devices {
+		if ed, ok := d.(EgressDevice); ok {
+			if !ed.ProcessEgress(n, pkt) {
+				return
+			}
+		}
+	}
+	if l, ok := n.routes[pkt.Dst]; ok {
+		l.send(pkt)
+		return
+	}
+	var best *Link
+	bestBits := -1
+	for _, pr := range n.prefixRoutes {
+		if pr.bits > bestBits && matchPrefix(pkt.Dst, pr.prefix, pr.bits) {
+			best = pr.link
+			bestBits = pr.bits
+		}
+	}
+	if best != nil {
+		best.send(pkt)
+		return
+	}
+	if n.defaultRoute != nil {
+		n.defaultRoute.send(pkt)
+		return
+	}
+	if pkt.Src != n.addr {
+		n.sendICMPError(pkt, ICMPDestUnreachable)
+	}
+}
+
+func matchPrefix(a, prefix Addr, bits int) bool {
+	if bits <= 0 {
+		return true
+	}
+	if bits >= 32 {
+		return a == prefix
+	}
+	shift := 32 - bits
+	return a>>shift == prefix>>shift
+}

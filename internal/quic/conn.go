@@ -1,0 +1,830 @@
+package quic
+
+import (
+	"time"
+
+	"starlinkperf/internal/netem"
+	"starlinkperf/internal/sim"
+)
+
+// Config carries the transport parameters of one endpoint of a
+// connection. The defaults mirror the paper's quiche configuration.
+type Config struct {
+	// InitialMaxData is the connection receive window advertised at the
+	// handshake (paper: 10 MB).
+	InitialMaxData uint64
+	// InitialMaxStreamData is the per-stream receive window (paper: 10 MB).
+	InitialMaxStreamData uint64
+	// MaxReceiveWindow caps flow-control autotuning. 0 disables
+	// autotuning (the window still slides, it just never grows).
+	MaxReceiveWindow uint64
+	// MaxAckDelay bounds how long an ACK may be withheld.
+	MaxAckDelay time.Duration
+	// AckElicitingThreshold is the packet count that forces an
+	// immediate ACK (2, per RFC 9000 §13.2.2).
+	AckElicitingThreshold int
+	// NewCC constructs the congestion controller; nil means CUBIC.
+	NewCC func() CongestionController
+	// EnablePacing spaces packet departures at 1.25x cwnd/SRTT.
+	// quiche at the paper's commit did not pace; the default is off.
+	EnablePacing bool
+}
+
+// DefaultConfig returns the paper's quiche-equivalent configuration.
+func DefaultConfig() Config {
+	return Config{
+		InitialMaxData:        10 << 20,
+		InitialMaxStreamData:  10 << 20,
+		MaxReceiveWindow:      40 << 20,
+		MaxAckDelay:           25 * time.Millisecond,
+		AckElicitingThreshold: 2,
+	}
+}
+
+// Stats aggregates connection counters.
+type Stats struct {
+	PacketsSent         uint64
+	AckElicitingSent    uint64
+	PacketsReceived     uint64
+	DuplicatesRecv      uint64
+	PacketsAcked        uint64 // our packets acked by the peer
+	PacketsLost         uint64 // sender-declared losses
+	ProbesSent          uint64
+	BytesSent           uint64
+	BytesReceived       uint64
+	FramesRetransmitted uint64
+	AcksSent            uint64
+}
+
+// connState is the connection lifecycle state.
+type connState uint8
+
+const (
+	stateHandshaking connState = iota
+	stateEstablished
+	stateClosed
+)
+
+// Sizes of the opaque handshake flights (bytes): a ClientHello-sized
+// first flight, a certificate-chain-sized server flight and a Finished-
+// sized client confirmation.
+const (
+	clientHelloSize    = 320
+	serverFlightSize   = 3000
+	clientFinishedSize = 52
+	initialPadTarget   = 1200
+)
+
+// Connection is one endpoint of a QUIC connection.
+type Connection struct {
+	ep       *Endpoint
+	sched    *sim.Scheduler
+	cfg      Config
+	isClient bool
+	connID   uint64
+
+	remote     netem.Addr
+	remotePort uint16
+
+	state connState
+
+	// Send side.
+	nextPN            uint64
+	ld                lossDetector
+	cc                CongestionController
+	pacer             Pacer
+	rtt               RTTEstimator
+	ptoCount          int
+	timer             *sim.Timer
+	lastElicitingSent sim.Time
+	retxQueue         []Frame
+	pacingTimer       *sim.Timer
+
+	// Crypto (opaque handshake bytes, offset-tracked like a stream).
+	cryptoOut     []byte
+	cryptoBase    uint64
+	cryptoRecv    []segment
+	cryptoRecvOff uint64
+
+	// Receive side / ACK generation.
+	recvSet        rangeSet
+	ackPending     bool
+	elicitingSince int
+	ackTimer       *sim.Timer
+	largestRecvAt  sim.Time
+
+	// Connection flow control.
+	maxDataRemote  uint64 // peer's advertised limit on our sending
+	dataSent       uint64
+	maxDataLocal   uint64 // what we advertised
+	dataRecv       uint64 // highest offsets received, summed
+	dataConsumed   uint64
+	connWindow     uint64
+	needMaxData    bool
+	blockedAtLimit uint64
+
+	// Streams.
+	streams      map[uint64]*Stream
+	active       []uint64 // round-robin send order
+	activeSet    map[uint64]bool
+	nextStreamID uint64
+
+	// Application callbacks.
+	OnEstablished func()
+	OnStream      func(*Stream)
+	OnClosed      func()
+	// OnRTTSample observes every RTT sample the ACK processing takes —
+	// the paper's Figure 3 series.
+	OnRTTSample func(at sim.Time, rtt time.Duration)
+	// TraceSent and TraceReceived observe every packet for the capture
+	// tooling.
+	TraceSent     func(at sim.Time, pn uint64, size int, eliciting bool)
+	TraceReceived func(at sim.Time, pn uint64, size int)
+
+	Stats Stats
+
+	inSend bool
+}
+
+func newConnection(ep *Endpoint, cfg Config, isClient bool, connID uint64, remote netem.Addr, remotePort uint16) *Connection {
+	if cfg.InitialMaxData == 0 {
+		cfg.InitialMaxData = DefaultConfig().InitialMaxData
+	}
+	if cfg.InitialMaxStreamData == 0 {
+		cfg.InitialMaxStreamData = DefaultConfig().InitialMaxStreamData
+	}
+	if cfg.MaxAckDelay == 0 {
+		cfg.MaxAckDelay = DefaultConfig().MaxAckDelay
+	}
+	if cfg.AckElicitingThreshold == 0 {
+		cfg.AckElicitingThreshold = DefaultConfig().AckElicitingThreshold
+	}
+	newCC := cfg.NewCC
+	if newCC == nil {
+		newCC = func() CongestionController { return NewCubic() }
+	}
+	c := &Connection{
+		ep:            ep,
+		sched:         ep.node.Scheduler(),
+		cfg:           cfg,
+		isClient:      isClient,
+		connID:        connID,
+		remote:        remote,
+		remotePort:    remotePort,
+		cc:            newCC(),
+		pacer:         Pacer{Enabled: cfg.EnablePacing},
+		maxDataLocal:  cfg.InitialMaxData,
+		connWindow:    cfg.InitialMaxData,
+		maxDataRemote: cfg.InitialMaxData, // peers use symmetric configs in the testbed
+		streams:       make(map[uint64]*Stream),
+		activeSet:     make(map[uint64]bool),
+	}
+	if isClient {
+		c.nextStreamID = 0
+	} else {
+		c.nextStreamID = 1
+	}
+	return c
+}
+
+// ConnID returns the connection identifier.
+func (c *Connection) ConnID() uint64 { return c.connID }
+
+// Sched returns the simulation scheduler driving the connection.
+func (c *Connection) Sched() *sim.Scheduler { return c.sched }
+
+// Established reports whether the handshake finished.
+func (c *Connection) Established() bool { return c.state == stateEstablished }
+
+// Closed reports whether the connection terminated.
+func (c *Connection) Closed() bool { return c.state == stateClosed }
+
+// RTT returns the connection's RTT estimator (read-only use).
+func (c *Connection) RTT() *RTTEstimator { return &c.rtt }
+
+// CC returns the congestion controller (read-only use).
+func (c *Connection) CC() CongestionController { return c.cc }
+
+// ReceivedPacketRanges returns the packet-number ranges received so far,
+// ascending. Gaps are exactly the packets the network lost towards us —
+// the paper's download loss-accounting methodology.
+func (c *Connection) ReceivedPacketRanges() []AckRange { return c.recvSet.Ranges() }
+
+// LargestSentPN returns the next packet number to be used minus one.
+func (c *Connection) LargestSentPN() (uint64, bool) {
+	if c.nextPN == 0 {
+		return 0, false
+	}
+	return c.nextPN - 1, true
+}
+
+// startHandshake begins the client side of the handshake.
+func (c *Connection) startHandshake() {
+	c.cryptoOut = make([]byte, clientHelloSize)
+	c.maybeSend()
+}
+
+// OpenStream opens a locally initiated bidirectional stream.
+func (c *Connection) OpenStream() *Stream {
+	id := c.nextStreamID
+	c.nextStreamID += 4
+	s := c.newStream(id)
+	// Advertise the stream receive window explicitly (see establish).
+	c.queueFrame(&MaxStreamDataFrame{StreamID: id, Max: s.maxRecvData})
+	return s
+}
+
+func (c *Connection) newStream(id uint64) *Stream {
+	s := &Stream{
+		id:          id,
+		conn:        c,
+		maxSendData: c.cfg.InitialMaxStreamData,
+		maxRecvData: c.cfg.InitialMaxStreamData,
+		recvWindow:  c.cfg.InitialMaxStreamData,
+	}
+	c.streams[id] = s
+	return s
+}
+
+// Stream returns an existing stream by ID, or nil.
+func (c *Connection) Stream(id uint64) *Stream { return c.streams[id] }
+
+// Close terminates the connection, emitting CONNECTION_CLOSE.
+func (c *Connection) Close(code uint64, reason string) {
+	if c.state == stateClosed {
+		return
+	}
+	frames := []Frame{&ConnectionCloseFrame{ErrorCode: code, Reason: reason}}
+	if ack := c.buildAck(); ack != nil {
+		frames = append([]Frame{ack}, frames...)
+	}
+	c.sendPacket(frames)
+	c.teardown()
+}
+
+func (c *Connection) teardown() {
+	c.state = stateClosed
+	if c.timer != nil {
+		c.timer.Stop()
+	}
+	if c.ackTimer != nil {
+		c.ackTimer.Stop()
+	}
+	if c.pacingTimer != nil {
+		c.pacingTimer.Stop()
+	}
+	c.ep.removeConn(c.connID)
+	if c.OnClosed != nil {
+		c.OnClosed()
+	}
+}
+
+// markActive queues a stream for round-robin sending.
+func (c *Connection) markActive(s *Stream) {
+	if !c.activeSet[s.id] {
+		c.activeSet[s.id] = true
+		c.active = append(c.active, s.id)
+	}
+}
+
+// onStreamConsumed returns flow-control credit after the application
+// consumed data, growing windows by autotuning when permitted.
+func (c *Connection) onStreamConsumed(s *Stream, n uint64) {
+	c.dataConsumed += n
+
+	// Stream window.
+	if s.maxRecvData-s.recvOffset < s.recvWindow/2 {
+		if c.cfg.MaxReceiveWindow > 0 && s.recvWindow*2 <= c.cfg.MaxReceiveWindow {
+			s.recvWindow *= 2
+		}
+		s.maxRecvData = s.recvOffset + s.recvWindow
+		c.queueFrame(&MaxStreamDataFrame{StreamID: s.id, Max: s.maxRecvData})
+	}
+	// Connection window.
+	if c.maxDataLocal-c.dataConsumed < c.connWindow/2 {
+		if c.cfg.MaxReceiveWindow > 0 && c.connWindow*2 <= c.cfg.MaxReceiveWindow {
+			c.connWindow *= 2
+		}
+		c.maxDataLocal = c.dataConsumed + c.connWindow
+		c.needMaxData = true
+	}
+	c.maybeSend()
+}
+
+func (c *Connection) queueFrame(f Frame) {
+	c.retxQueue = append(c.retxQueue, f)
+}
+
+// ---------------------------------------------------------------------
+// Receive path.
+
+func (c *Connection) handlePacket(p *Packet, from netem.Addr, fromPort uint16) {
+	if c.state == stateClosed {
+		return
+	}
+	now := c.sched.Now()
+	c.Stats.PacketsReceived++
+	if c.TraceReceived != nil {
+		c.TraceReceived(now, p.Header.Number, p.Size)
+	}
+	if c.recvSet.Contains(p.Header.Number) {
+		c.Stats.DuplicatesRecv++
+		return
+	}
+	c.recvSet.Insert(p.Header.Number)
+	c.largestRecvAt = now
+	c.Stats.BytesReceived += uint64(p.Size)
+
+	for _, f := range p.Frames {
+		switch f := f.(type) {
+		case *AckFrame:
+			c.onAckReceived(f, now)
+		case *CryptoFrame:
+			c.onCrypto(f)
+		case *StreamFrame:
+			c.onStreamFrame(f)
+		case *MaxDataFrame:
+			if f.Max > c.maxDataRemote {
+				c.maxDataRemote = f.Max
+			}
+		case *MaxStreamDataFrame:
+			// The update may precede the stream's first STREAM frame
+			// (it rides earlier in the same packet): create the stream
+			// so the new limit is not lost.
+			s := c.getOrCreateRemoteStream(f.StreamID)
+			if f.Max > s.maxSendData {
+				s.maxSendData = f.Max
+				if s.pendingSend() {
+					c.markActive(s)
+				}
+			}
+		case *ConnectionCloseFrame:
+			c.teardown()
+			return
+		case *PingFrame, *PaddingFrame, *DataBlockedFrame:
+			// PING only elicits an ACK; PADDING and DATA_BLOCKED are
+			// informational.
+		}
+	}
+
+	if p.AckEliciting() {
+		c.elicitingSince++
+		if c.elicitingSince >= c.cfg.AckElicitingThreshold {
+			c.ackPending = true
+		} else if c.ackTimer == nil || !c.ackTimer.Pending() {
+			c.ackTimer = c.sched.After(c.cfg.MaxAckDelay, func() {
+				c.ackPending = true
+				c.maybeSend()
+			})
+		}
+	}
+	c.maybeSend()
+}
+
+func (c *Connection) onCrypto(f *CryptoFrame) {
+	end := f.Offset + uint64(len(f.Data))
+	if end > c.cryptoRecvOff {
+		data := f.Data
+		off := f.Offset
+		if off < c.cryptoRecvOff {
+			data = data[c.cryptoRecvOff-off:]
+			off = c.cryptoRecvOff
+		}
+		// Insert sorted and deliver contiguously.
+		i := 0
+		for i < len(c.cryptoRecv) && c.cryptoRecv[i].off < off {
+			i++
+		}
+		c.cryptoRecv = append(c.cryptoRecv, segment{})
+		copy(c.cryptoRecv[i+1:], c.cryptoRecv[i:])
+		c.cryptoRecv[i] = segment{off: off, data: data}
+		for len(c.cryptoRecv) > 0 && c.cryptoRecv[0].off <= c.cryptoRecvOff {
+			seg := c.cryptoRecv[0]
+			c.cryptoRecv = c.cryptoRecv[1:]
+			if e := seg.off + uint64(len(seg.data)); e > c.cryptoRecvOff {
+				c.cryptoRecvOff = e
+			}
+		}
+	}
+	c.handshakeProgress()
+}
+
+// handshakeProgress advances the emulated TLS state machine on crypto
+// delivery.
+func (c *Connection) handshakeProgress() {
+	switch {
+	case !c.isClient && c.state == stateHandshaking && c.cryptoRecvOff >= clientHelloSize && len(c.cryptoOut) == 0:
+		// Server: ClientHello in, emit the server flight and (like TLS
+		// 1.3 0.5-RTT) consider the connection usable.
+		c.cryptoOut = make([]byte, serverFlightSize)
+		c.establish()
+	case c.isClient && c.state == stateHandshaking && c.cryptoRecvOff >= serverFlightSize:
+		// Client: full server flight received; send Finished, done.
+		c.cryptoOut = append(c.cryptoOut, make([]byte, clientFinishedSize)...)
+		c.establish()
+	}
+}
+
+func (c *Connection) establish() {
+	c.state = stateEstablished
+	// Advertise our real connection flow-control limit: transport
+	// parameters are not exchanged in the emulated handshake, so peers
+	// start from conservative assumptions and this update corrects an
+	// asymmetric configuration (e.g. the 150 MB receive-window
+	// ablation).
+	c.needMaxData = true
+	if c.OnEstablished != nil {
+		c.OnEstablished()
+	}
+}
+
+// getOrCreateRemoteStream returns the stream, creating it (and firing
+// OnStream) when a peer-initiated frame references it first.
+func (c *Connection) getOrCreateRemoteStream(id uint64) *Stream {
+	s := c.streams[id]
+	if s == nil {
+		s = c.newStream(id)
+		if c.OnStream != nil {
+			c.OnStream(s)
+		}
+	}
+	return s
+}
+
+func (c *Connection) onStreamFrame(f *StreamFrame) {
+	s := c.getOrCreateRemoteStream(f.StreamID)
+	newBytes := s.receive(f, c)
+	c.dataRecv += newBytes
+}
+
+// ---------------------------------------------------------------------
+// ACK processing and loss detection.
+
+func (c *Connection) onAckReceived(ack *AckFrame, now sim.Time) {
+	res := c.ld.onAck(ack, now, c.rtt.LossDelay())
+
+	if res.LargestNew != nil && res.LargestNew.pn == ack.Largest() {
+		sample := now.Sub(res.LargestNew.sentAt)
+		delay := ack.AckDelay
+		if delay > c.cfg.MaxAckDelay {
+			delay = c.cfg.MaxAckDelay
+		}
+		c.rtt.Update(sample, delay)
+		if c.OnRTTSample != nil {
+			c.OnRTTSample(now, sample)
+		}
+	}
+
+	for _, sp := range res.Newly {
+		c.Stats.PacketsAcked++
+		c.cc.OnPacketAcked(now, sp.size, &c.rtt)
+		for _, f := range sp.frames {
+			if sf, ok := f.(*StreamFrame); ok {
+				if s := c.streams[sf.StreamID]; s != nil {
+					s.onFrameAcked(sf)
+				}
+			}
+		}
+	}
+	c.handleLost(res.Lost, now)
+	if len(res.Newly) > 0 {
+		c.ptoCount = 0
+	}
+	c.setTimer()
+	c.maybeSend()
+}
+
+func (c *Connection) handleLost(lost []*sentPacket, now sim.Time) {
+	for _, sp := range lost {
+		c.Stats.PacketsLost++
+		c.cc.OnCongestionEvent(now, sp.sentAt)
+		for _, f := range sp.frames {
+			switch f := f.(type) {
+			case *MaxDataFrame:
+				c.needMaxData = true
+			case *MaxStreamDataFrame:
+				if s := c.streams[f.StreamID]; s != nil {
+					c.queueFrame(&MaxStreamDataFrame{StreamID: f.StreamID, Max: s.maxRecvData})
+				}
+			default:
+				c.Stats.FramesRetransmitted++
+				c.retxQueue = append(c.retxQueue, f)
+			}
+		}
+	}
+}
+
+// setTimer arms the single recovery timer: loss-time mode when candidates
+// exist, PTO mode while ack-eliciting packets are in flight.
+func (c *Connection) setTimer() {
+	if c.timer != nil {
+		c.timer.Stop()
+		c.timer = nil
+	}
+	if c.state == stateClosed {
+		return
+	}
+	if at, ok := c.ld.earliestLossTime(c.rtt.LossDelay()); ok {
+		if at < c.sched.Now() {
+			at = c.sched.Now()
+		}
+		c.timer = c.sched.At(at, c.onLossTimer)
+		return
+	}
+	if c.ld.HasUnacked() {
+		pto := c.rtt.PTO(c.cfg.MaxAckDelay) << uint(c.ptoCount)
+		at := c.lastElicitingSent.Add(pto)
+		if now := c.sched.Now(); at < now {
+			at = now
+		}
+		c.timer = c.sched.At(at, c.onPTO)
+	}
+}
+
+func (c *Connection) onLossTimer() {
+	now := c.sched.Now()
+	lost := c.ld.detectTimeLosses(now, c.rtt.LossDelay())
+	c.handleLost(lost, now)
+	c.setTimer()
+	c.maybeSend()
+}
+
+func (c *Connection) onPTO() {
+	c.ptoCount++
+	c.Stats.ProbesSent++
+	// Probe with the oldest unacked ack-eliciting data under a fresh
+	// packet number; PING when nothing is outstanding.
+	if sp := c.ld.oldestEliciting(); sp != nil {
+		var frames []Frame
+		for _, f := range sp.frames {
+			if f.AckEliciting() {
+				frames = append(frames, f)
+			}
+		}
+		if len(frames) == 0 {
+			frames = []Frame{&PingFrame{}}
+		}
+		c.sendPacket(frames)
+	} else {
+		c.sendPacket([]Frame{&PingFrame{}})
+	}
+	c.setTimer()
+}
+
+// ---------------------------------------------------------------------
+// Send path.
+
+// buildAck returns the pending ACK frame, or nil.
+func (c *Connection) buildAck() *AckFrame {
+	ranges := c.recvSet.AckRanges(32)
+	if len(ranges) == 0 {
+		return nil
+	}
+	delay := c.sched.Now().Sub(c.largestRecvAt)
+	if delay < 0 {
+		delay = 0
+	}
+	return &AckFrame{Ranges: ranges, AckDelay: delay}
+}
+
+func (c *Connection) ackSent() {
+	c.ackPending = false
+	c.elicitingSince = 0
+	if c.ackTimer != nil {
+		c.ackTimer.Stop()
+		c.ackTimer = nil
+	}
+}
+
+// hasCryptoToSend reports pending handshake bytes.
+func (c *Connection) hasCryptoToSend() bool {
+	return uint64(len(c.cryptoOut)) > 0
+}
+
+// maybeSend drives the packetizer: it emits packets while there is
+// something to send and the congestion window (for ack-eliciting data)
+// and pacer allow.
+func (c *Connection) maybeSend() {
+	if c.inSend || c.state == stateClosed {
+		return
+	}
+	c.inSend = true
+	defer func() { c.inSend = false }()
+
+	for c.state != stateClosed {
+		canSendData := c.ld.InFlight() < c.cc.Window()
+
+		frames, eliciting := c.buildPacket(canSendData)
+		if len(frames) == 0 {
+			break
+		}
+		if eliciting && c.pacer.Enabled {
+			size := headerOverhead
+			for _, f := range frames {
+				size += f.WireLen()
+			}
+			if d := c.pacer.Delay(c.sched.Now(), size, c.cc.Window(), &c.rtt); d > 0 {
+				// Put the retransmittable frames back and retry after
+				// the pacing gap; a withheld ACK stays pending.
+				var keep []Frame
+				for _, f := range frames {
+					if _, isAck := f.(*AckFrame); !isAck {
+						keep = append(keep, f)
+					}
+				}
+				c.retxQueue = append(keep, c.retxQueue...)
+				if c.pacingTimer == nil || !c.pacingTimer.Pending() {
+					c.pacingTimer = c.sched.After(d, c.maybeSend)
+				}
+				break
+			}
+		}
+		c.sendPacket(frames)
+	}
+	c.setTimer()
+}
+
+// buildPacket assembles up to one packet's worth of frames. canSendData
+// gates ack-eliciting content (pure ACKs are never congestion blocked).
+func (c *Connection) buildPacket(canSendData bool) (frames []Frame, eliciting bool) {
+	remaining := MaxPayloadSize
+
+	if c.ackPending {
+		if ack := c.buildAck(); ack != nil && ack.WireLen() <= remaining {
+			frames = append(frames, ack)
+			remaining -= ack.WireLen()
+		}
+	}
+
+	if canSendData {
+		// Handshake bytes first.
+		for c.hasCryptoToSend() && remaining > 8 {
+			chunk := len(c.cryptoOut)
+			maxData := remaining - 1 - VarintLen(c.cryptoBase) - 4
+			if chunk > maxData {
+				chunk = maxData
+			}
+			if chunk <= 0 {
+				break
+			}
+			f := &CryptoFrame{Offset: c.cryptoBase, Data: c.cryptoOut[:chunk]}
+			c.cryptoOut = c.cryptoOut[chunk:]
+			c.cryptoBase += uint64(chunk)
+			frames = append(frames, f)
+			remaining -= f.WireLen()
+		}
+
+		// Flow-control updates.
+		if c.needMaxData && remaining >= 9 {
+			f := &MaxDataFrame{Max: c.maxDataLocal}
+			frames = append(frames, f)
+			remaining -= f.WireLen()
+			c.needMaxData = false
+		}
+
+		// Retransmissions and queued control frames.
+		for len(c.retxQueue) > 0 && remaining > 0 {
+			f := c.retxQueue[0]
+			if f.WireLen() > remaining {
+				// Split oversized stream frames; other frames wait.
+				if sf, ok := f.(*StreamFrame); ok && remaining > 16 {
+					head := remaining - 1 - VarintLen(sf.StreamID) - VarintLen(sf.Offset) - 4
+					if head > 0 && head < len(sf.Data) {
+						part := &StreamFrame{StreamID: sf.StreamID, Offset: sf.Offset, Data: sf.Data[:head]}
+						c.retxQueue[0] = &StreamFrame{
+							StreamID: sf.StreamID,
+							Offset:   sf.Offset + uint64(head),
+							Data:     sf.Data[head:],
+							Fin:      sf.Fin,
+						}
+						frames = append(frames, part)
+						remaining -= part.WireLen()
+					}
+				}
+				break
+			}
+			c.retxQueue = c.retxQueue[1:]
+			frames = append(frames, f)
+			remaining -= f.WireLen()
+		}
+
+		// Fresh stream data, round-robin, within connection flow control.
+		if c.state == stateEstablished {
+			for remaining > 16 && len(c.active) > 0 {
+				id := c.active[0]
+				s := c.streams[id]
+				if s == nil || !s.pendingSend() {
+					c.active = c.active[1:]
+					delete(c.activeSet, id)
+					continue
+				}
+				connBudget := int(c.maxDataRemote - c.dataSent)
+				if connBudget <= 0 {
+					if c.blockedAtLimit != c.maxDataRemote && remaining >= 9 {
+						f := &DataBlockedFrame{Limit: c.maxDataRemote}
+						frames = append(frames, f)
+						remaining -= f.WireLen()
+						c.blockedAtLimit = c.maxDataRemote
+					}
+					break
+				}
+				budget := remaining - 1 - VarintLen(id) - VarintLen(s.sendBase) - 4
+				if budget > connBudget {
+					budget = connBudget
+				}
+				f := s.nextFrame(budget)
+				if f == nil {
+					// Blocked by stream flow control or empty.
+					c.active = c.active[1:]
+					delete(c.activeSet, id)
+					continue
+				}
+				c.dataSent += uint64(len(f.Data))
+				frames = append(frames, f)
+				remaining -= f.WireLen()
+				// Rotate for fairness.
+				c.active = append(c.active[1:], id)
+			}
+		}
+	}
+
+	if len(frames) == 0 {
+		return nil, false
+	}
+	for _, f := range frames {
+		if f.AckEliciting() {
+			eliciting = true
+			break
+		}
+	}
+	return frames, eliciting
+}
+
+// sendPacket serializes and transmits one packet built from frames.
+func (c *Connection) sendPacket(frames []Frame) {
+	if len(frames) == 0 {
+		return
+	}
+	now := c.sched.Now()
+	hdr := PacketHeader{
+		Handshake: c.state == stateHandshaking,
+		ConnID:    c.connID,
+		Number:    c.nextPN,
+	}
+	eliciting := false
+	for _, f := range frames {
+		if f.AckEliciting() {
+			eliciting = true
+			break
+		}
+	}
+	// Pad the client's first flight like Initial packets must be.
+	if hdr.Handshake && c.isClient && hdr.Number == 0 {
+		size := headerOverhead
+		for _, f := range frames {
+			size += f.WireLen()
+		}
+		if size < initialPadTarget {
+			frames = append(frames, &PaddingFrame{Length: initialPadTarget - size})
+		}
+	}
+	c.nextPN++
+	buf := Serialize(hdr, frames)
+
+	hasAck := false
+	for _, f := range frames {
+		if _, ok := f.(*AckFrame); ok {
+			hasAck = true
+			break
+		}
+	}
+	if hasAck {
+		c.ackSent()
+		c.Stats.AcksSent++
+	}
+
+	c.Stats.PacketsSent++
+	c.Stats.BytesSent += uint64(len(buf))
+	if eliciting {
+		c.Stats.AckElicitingSent++
+		c.lastElicitingSent = now
+		var retx []Frame
+		for _, f := range frames {
+			if f.AckEliciting() {
+				retx = append(retx, f)
+			}
+		}
+		c.ld.onPacketSent(&sentPacket{
+			pn:           hdr.Number,
+			sentAt:       now,
+			size:         len(buf),
+			ackEliciting: true,
+			frames:       retx,
+		})
+		c.cc.OnPacketSent(now, len(buf))
+	}
+	if c.TraceSent != nil {
+		c.TraceSent(now, hdr.Number, len(buf), eliciting)
+	}
+	c.ep.sendDatagram(c.remote, c.remotePort, buf)
+}

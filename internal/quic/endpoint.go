@@ -1,0 +1,108 @@
+package quic
+
+import (
+	"starlinkperf/internal/netem"
+	"starlinkperf/internal/sim"
+)
+
+// udpOverhead is the IPv4 + UDP header cost added to every datagram on
+// the wire.
+const udpOverhead = 28
+
+// Endpoint owns a UDP port on an emulated node and multiplexes QUIC
+// connections over it by connection ID.
+type Endpoint struct {
+	node *netem.Node
+	port uint16
+	rng  *sim.RNG
+
+	conns     map[uint64]*Connection
+	listening bool
+	serverCfg Config
+	onConn    func(*Connection)
+}
+
+// NewEndpoint binds a QUIC endpoint to a UDP port of node.
+func NewEndpoint(node *netem.Node, port uint16) *Endpoint {
+	e := &Endpoint{
+		node:  node,
+		port:  port,
+		rng:   node.Scheduler().RNG().Stream(node.Name() + "/quic"),
+		conns: make(map[uint64]*Connection),
+	}
+	node.Bind(netem.ProtoUDP, port, e.receive)
+	return e
+}
+
+// Node returns the underlying emulated node.
+func (e *Endpoint) Node() *netem.Node { return e.node }
+
+// Port returns the bound UDP port.
+func (e *Endpoint) Port() uint16 { return e.port }
+
+// Close unbinds the endpoint.
+func (e *Endpoint) Close() {
+	e.node.Unbind(netem.ProtoUDP, e.port)
+}
+
+// Listen accepts incoming connections, invoking onConn for each new one
+// (before any of its streams deliver data).
+func (e *Endpoint) Listen(cfg Config, onConn func(*Connection)) {
+	e.listening = true
+	e.serverCfg = cfg
+	e.onConn = onConn
+}
+
+// Dial opens a client connection to the remote address and starts the
+// handshake. Use the connection's OnEstablished callback to begin work.
+func (e *Endpoint) Dial(remote netem.Addr, remotePort uint16, cfg Config) *Connection {
+	var id uint64
+	for {
+		id = e.rng.Uint64()
+		if _, taken := e.conns[id]; !taken && id != 0 {
+			break
+		}
+	}
+	c := newConnection(e, cfg, true, id, remote, remotePort)
+	e.conns[id] = c
+	c.startHandshake()
+	return c
+}
+
+func (e *Endpoint) removeConn(id uint64) { delete(e.conns, id) }
+
+func (e *Endpoint) receive(pkt *netem.Packet) {
+	data, ok := pkt.Payload.([]byte)
+	if !ok {
+		return
+	}
+	p, err := Parse(data)
+	if err != nil {
+		return // corrupted or foreign datagram
+	}
+	c := e.conns[p.Header.ConnID]
+	if c == nil {
+		if !e.listening || !p.Header.Handshake {
+			return
+		}
+		c = newConnection(e, e.serverCfg, false, p.Header.ConnID, pkt.Src, pkt.SrcPort)
+		e.conns[p.Header.ConnID] = c
+		if e.onConn != nil {
+			e.onConn(c)
+		}
+	}
+	c.handlePacket(p, pkt.Src, pkt.SrcPort)
+}
+
+// sendDatagram wraps a serialized QUIC packet in a UDP packet and sends
+// it from the endpoint's node.
+func (e *Endpoint) sendDatagram(remote netem.Addr, remotePort uint16, payload []byte) {
+	e.node.Send(&netem.Packet{
+		Dst:     remote,
+		DstPort: remotePort,
+		SrcPort: e.port,
+		Proto:   netem.ProtoUDP,
+		Size:    len(payload) + udpOverhead,
+		Payload: payload,
+	})
+}

@@ -1,0 +1,103 @@
+package quic
+
+import (
+	"testing"
+	"time"
+
+	"starlinkperf/internal/sim"
+)
+
+func sp(pn uint64, at time.Duration) *sentPacket {
+	return &sentPacket{pn: pn, sentAt: sim.Time(at), size: 1350, ackEliciting: true}
+}
+
+func ackOf(ranges ...AckRange) *AckFrame { return &AckFrame{Ranges: ranges} }
+
+func TestLossDetectorCumulativeAck(t *testing.T) {
+	var ld lossDetector
+	for i := uint64(0); i < 10; i++ {
+		ld.onPacketSent(sp(i, time.Duration(i)*time.Millisecond))
+	}
+	if ld.InFlight() != 10*1350 {
+		t.Fatalf("inflight = %d", ld.InFlight())
+	}
+	res := ld.onAck(ackOf(AckRange{Smallest: 0, Largest: 9}), sim.Time(50*time.Millisecond), 100*time.Millisecond)
+	if len(res.Newly) != 10 || len(res.Lost) != 0 {
+		t.Fatalf("newly=%d lost=%d", len(res.Newly), len(res.Lost))
+	}
+	if res.LargestNew == nil || res.LargestNew.pn != 9 {
+		t.Fatalf("largest new = %+v", res.LargestNew)
+	}
+	if ld.InFlight() != 0 || ld.HasUnacked() {
+		t.Fatal("detector not drained")
+	}
+}
+
+func TestLossDetectorPacketThreshold(t *testing.T) {
+	var ld lossDetector
+	for i := uint64(0); i < 10; i++ {
+		ld.onPacketSent(sp(i, 0))
+	}
+	// Ack 4..9: packets 0..3 are overtaken; 0..2 are >= kPacketThreshold
+	// below the largest and must be declared lost; 3 is a candidate...
+	// actually largest=9: 9 >= pn+3 for pn <= 6, so 0..3 all lost.
+	res := ld.onAck(ackOf(AckRange{Smallest: 4, Largest: 9}), sim.Time(time.Millisecond), time.Hour)
+	if len(res.Newly) != 6 {
+		t.Fatalf("newly = %d, want 6", len(res.Newly))
+	}
+	if len(res.Lost) != 4 {
+		t.Fatalf("lost = %d, want 4 (packet threshold)", len(res.Lost))
+	}
+	if ld.InFlight() != 0 {
+		t.Fatalf("inflight = %d after full classification", ld.InFlight())
+	}
+}
+
+func TestLossDetectorTimeThreshold(t *testing.T) {
+	var ld lossDetector
+	ld.onPacketSent(sp(0, 0))
+	ld.onPacketSent(sp(1, 0))
+	ld.onPacketSent(sp(2, 0))
+	// Ack only pn 2: pn 0,1 within the packet threshold -> candidates.
+	res := ld.onAck(ackOf(AckRange{Smallest: 2, Largest: 2}), sim.Time(10*time.Millisecond), 100*time.Millisecond)
+	if len(res.Lost) != 0 || len(res.Newly) != 1 {
+		t.Fatalf("premature loss: newly=%d lost=%d", len(res.Newly), len(res.Lost))
+	}
+	if at, ok := ld.earliestLossTime(100 * time.Millisecond); !ok || at != sim.Time(100*time.Millisecond) {
+		t.Fatalf("loss timer = %v %v", at, ok)
+	}
+	lost := ld.detectTimeLosses(sim.Time(101*time.Millisecond), 100*time.Millisecond)
+	if len(lost) != 2 {
+		t.Fatalf("time-threshold lost = %d, want 2", len(lost))
+	}
+	if ld.HasUnacked() {
+		t.Fatal("unacked remain")
+	}
+}
+
+func TestLossDetectorLateAckOfCandidate(t *testing.T) {
+	var ld lossDetector
+	ld.onPacketSent(sp(0, 0))
+	ld.onPacketSent(sp(1, 0))
+	ld.onAck(ackOf(AckRange{Smallest: 1, Largest: 1}), sim.Time(time.Millisecond), time.Hour)
+	// pn 0 is a candidate; a late ACK must rescue it.
+	res := ld.onAck(ackOf(AckRange{Smallest: 0, Largest: 1}), sim.Time(2*time.Millisecond), time.Hour)
+	if len(res.Newly) != 1 || res.Newly[0].pn != 0 {
+		t.Fatalf("late ack not honoured: %+v", res.Newly)
+	}
+	if len(res.Lost) != 0 {
+		t.Fatal("rescued packet declared lost")
+	}
+}
+
+func TestLossDetectorOldestEliciting(t *testing.T) {
+	var ld lossDetector
+	ld.onPacketSent(sp(0, 0))
+	ld.onPacketSent(sp(1, 0))
+	ld.onPacketSent(sp(2, 0))
+	ld.onAck(ackOf(AckRange{Smallest: 2, Largest: 2}), sim.Time(time.Millisecond), time.Hour)
+	probe := ld.oldestEliciting()
+	if probe == nil || probe.pn != 0 {
+		t.Fatalf("oldest eliciting = %+v, want pn 0", probe)
+	}
+}

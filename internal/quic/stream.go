@@ -1,0 +1,219 @@
+package quic
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Stream is a bidirectional QUIC stream. The API is event-driven to match
+// the simulation: writers enqueue bytes, readers receive in-order data via
+// the OnData callback, and received data is consumed eagerly (the
+// measurement workloads read as fast as data arrives, like the paper's
+// bulk-download clients).
+type Stream struct {
+	id   uint64
+	conn *Connection
+
+	// Send state.
+	sendBuf     []byte // bytes not yet packetized, starting at sendBase
+	sendBase    uint64 // offset of sendBuf[0]
+	finQueued   bool
+	finSent     bool
+	finAcked    bool
+	maxSendData uint64 // peer's stream flow-control limit
+	blockedSent bool
+
+	// Receive state.
+	recvOffset   uint64 // everything below is delivered
+	segments     []segment
+	finalSize    uint64
+	haveFinal    bool
+	finDelivered bool
+	maxRecvData  uint64 // limit we advertised
+	recvWindow   uint64 // window size used when extending the limit
+
+	// OnData is invoked with each in-order chunk; fin marks the last.
+	OnData func(data []byte, fin bool)
+
+	// BytesReceived counts delivered payload bytes.
+	BytesReceived uint64
+	// BytesSent counts payload bytes handed to packets (first
+	// transmissions only, not retransmissions).
+	BytesSent uint64
+}
+
+type segment struct {
+	off  uint64
+	data []byte
+}
+
+// ID returns the stream identifier.
+func (s *Stream) ID() uint64 { return s.id }
+
+// Conn returns the owning connection.
+func (s *Stream) Conn() *Connection { return s.conn }
+
+// Write queues application bytes for transmission and kicks the send
+// path. It never blocks; the data is buffered until flow control and the
+// congestion window let it out.
+func (s *Stream) Write(data []byte) {
+	if s.finQueued {
+		panic(fmt.Sprintf("quic: write to stream %d after Close", s.id))
+	}
+	s.sendBuf = append(s.sendBuf, data...)
+	s.conn.markActive(s)
+	s.conn.maybeSend()
+}
+
+// WriteZeroes queues n filler bytes, the bulk-transfer workload's payload.
+func (s *Stream) WriteZeroes(n int) {
+	if s.finQueued {
+		panic(fmt.Sprintf("quic: write to stream %d after Close", s.id))
+	}
+	s.sendBuf = append(s.sendBuf, make([]byte, n)...)
+	s.conn.markActive(s)
+	s.conn.maybeSend()
+}
+
+// Close queues the FIN after all buffered data.
+func (s *Stream) Close() {
+	if s.finQueued {
+		return
+	}
+	s.finQueued = true
+	s.conn.markActive(s)
+	s.conn.maybeSend()
+}
+
+// Finished reports whether the peer acknowledged everything including the
+// FIN.
+func (s *Stream) Finished() bool { return s.finAcked }
+
+// pendingSend reports whether the stream has bytes or a FIN to transmit,
+// within its flow-control limit.
+func (s *Stream) pendingSend() bool {
+	if len(s.sendBuf) > 0 && s.sendBase < s.maxSendData {
+		return true
+	}
+	return s.finQueued && !s.finSent && len(s.sendBuf) == 0
+}
+
+// nextFrame cuts a STREAM frame of at most maxBytes payload from the send
+// buffer, honouring stream flow control (connection flow control is
+// enforced by the caller, which passes a pre-clamped budget).
+func (s *Stream) nextFrame(maxBytes int) *StreamFrame {
+	if maxBytes <= 0 {
+		return nil
+	}
+	n := len(s.sendBuf)
+	if allowed := s.maxSendData - s.sendBase; uint64(n) > allowed {
+		n = int(allowed)
+	}
+	if n > maxBytes {
+		n = maxBytes
+	}
+	fin := s.finQueued && !s.finSent && n == len(s.sendBuf)
+	if n == 0 && !fin {
+		return nil
+	}
+	f := &StreamFrame{
+		StreamID: s.id,
+		Offset:   s.sendBase,
+		Data:     append([]byte(nil), s.sendBuf[:n]...),
+		Fin:      fin,
+	}
+	s.sendBuf = s.sendBuf[n:]
+	s.sendBase += uint64(n)
+	s.BytesSent += uint64(n)
+	if fin {
+		s.finSent = true
+	}
+	return f
+}
+
+// onFrameAcked records delivery of a stream frame.
+func (s *Stream) onFrameAcked(f *StreamFrame) {
+	if f.Fin && f.Offset+uint64(len(f.Data)) == s.sendBase && s.finSent {
+		s.finAcked = true
+	}
+}
+
+// receive ingests a STREAM frame, reassembles, and delivers in-order data.
+// It returns the number of new bytes that count against flow control
+// (i.e. bytes extending the highest received offset).
+func (s *Stream) receive(f *StreamFrame, conn *Connection) uint64 {
+	end := f.Offset + uint64(len(f.Data))
+	var newHighest uint64
+	if end > s.highestRecv() {
+		newHighest = end - s.highestRecv()
+	}
+	if f.Fin {
+		s.finalSize = end
+		s.haveFinal = true
+	}
+	if len(f.Data) > 0 && end > s.recvOffset {
+		data := f.Data
+		off := f.Offset
+		if off < s.recvOffset { // trim duplicate prefix
+			data = data[s.recvOffset-off:]
+			off = s.recvOffset
+		}
+		s.insertSegment(off, data)
+	}
+	s.deliver()
+	return newHighest
+}
+
+func (s *Stream) highestRecv() uint64 {
+	h := s.recvOffset
+	for _, seg := range s.segments {
+		if end := seg.off + uint64(len(seg.data)); end > h {
+			h = end
+		}
+	}
+	return h
+}
+
+func (s *Stream) insertSegment(off uint64, data []byte) {
+	i := sort.Search(len(s.segments), func(i int) bool { return s.segments[i].off >= off })
+	s.segments = append(s.segments, segment{})
+	copy(s.segments[i+1:], s.segments[i:])
+	s.segments[i] = segment{off: off, data: data}
+}
+
+// deliver pushes contiguous data to the application and advances flow
+// control credit.
+func (s *Stream) deliver() {
+	for len(s.segments) > 0 {
+		seg := s.segments[0]
+		segEnd := seg.off + uint64(len(seg.data))
+		if seg.off > s.recvOffset {
+			break // gap
+		}
+		s.segments = append(s.segments[:0], s.segments[1:]...)
+		if segEnd <= s.recvOffset {
+			continue // fully duplicate
+		}
+		data := seg.data[s.recvOffset-seg.off:]
+		s.recvOffset = segEnd
+		s.BytesReceived += uint64(len(data))
+		fin := s.haveFinal && s.recvOffset == s.finalSize && !s.finDelivered
+		if fin {
+			s.finDelivered = true
+		}
+		if s.OnData != nil {
+			s.OnData(data, fin)
+		}
+		// Eager consumption: return the credit immediately.
+		s.conn.onStreamConsumed(s, uint64(len(data)))
+	}
+	if s.haveFinal && s.recvOffset == s.finalSize && !s.finDelivered {
+		s.finDelivered = true
+		if s.OnData != nil {
+			s.OnData(nil, true)
+		}
+	}
+}
+
+// Done reports whether all incoming data including FIN was delivered.
+func (s *Stream) Done() bool { return s.finDelivered }

@@ -1,0 +1,194 @@
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// MoodsMedianTest performs Mood's median test on k groups: it tests the
+// null hypothesis that all groups are drawn from distributions with the
+// same median. The paper applies it to per-hour RTT samples to argue the
+// absence of a diurnal cycle.
+//
+// It returns the chi-squared statistic, the degrees of freedom and the
+// p-value (chi-squared upper tail). Groups with no data are skipped.
+func MoodsMedianTest(groups [][]float64) (chi2 float64, df int, p float64) {
+	var all []float64
+	var used [][]float64
+	for _, g := range groups {
+		if len(g) > 0 {
+			used = append(used, g)
+			all = append(all, g...)
+		}
+	}
+	if len(used) < 2 || len(all) == 0 {
+		return 0, 0, 1
+	}
+	grand := Median(all)
+
+	// 2 x k contingency table of counts above / at-or-below the grand
+	// median, compared with expectations under the null.
+	above := make([]float64, len(used))
+	below := make([]float64, len(used))
+	var totAbove, totBelow float64
+	for i, g := range used {
+		for _, x := range g {
+			if x > grand {
+				above[i]++
+			} else {
+				below[i]++
+			}
+		}
+		totAbove += above[i]
+		totBelow += below[i]
+	}
+	total := totAbove + totBelow
+	if totAbove == 0 || totBelow == 0 {
+		return 0, len(used) - 1, 1
+	}
+	for i, g := range used {
+		n := float64(len(g))
+		expAbove := n * totAbove / total
+		expBelow := n * totBelow / total
+		if expAbove > 0 {
+			d := above[i] - expAbove
+			chi2 += d * d / expAbove
+		}
+		if expBelow > 0 {
+			d := below[i] - expBelow
+			chi2 += d * d / expBelow
+		}
+	}
+	df = len(used) - 1
+	return chi2, df, ChiSquaredSurvival(chi2, df)
+}
+
+// ChiSquaredSurvival returns P[X >= x] for a chi-squared distribution with
+// df degrees of freedom, via the regularized upper incomplete gamma
+// function Q(df/2, x/2).
+func ChiSquaredSurvival(x float64, df int) float64 {
+	if x <= 0 || df <= 0 {
+		return 1
+	}
+	return gammaQ(float64(df)/2, x/2)
+}
+
+// gammaQ computes the regularized upper incomplete gamma function Q(a, x)
+// using the series for x < a+1 and the continued fraction otherwise
+// (Numerical Recipes §6.2).
+func gammaQ(a, x float64) float64 {
+	if x < 0 || a <= 0 {
+		return math.NaN()
+	}
+	if x == 0 {
+		return 1
+	}
+	if x < a+1 {
+		return 1 - gammaPSeries(a, x)
+	}
+	return gammaQContinuedFraction(a, x)
+}
+
+func gammaPSeries(a, x float64) float64 {
+	const itmax = 500
+	const eps = 3e-14
+	lg, _ := math.Lgamma(a)
+	ap := a
+	sum := 1 / a
+	del := sum
+	for n := 0; n < itmax; n++ {
+		ap++
+		del *= x / ap
+		sum += del
+		if math.Abs(del) < math.Abs(sum)*eps {
+			break
+		}
+	}
+	return sum * math.Exp(-x+a*math.Log(x)-lg)
+}
+
+func gammaQContinuedFraction(a, x float64) float64 {
+	const itmax = 500
+	const eps = 3e-14
+	const fpmin = 1e-300
+	lg, _ := math.Lgamma(a)
+	b := x + 1 - a
+	c := 1 / fpmin
+	d := 1 / b
+	h := d
+	for i := 1; i <= itmax; i++ {
+		an := -float64(i) * (float64(i) - a)
+		b += 2
+		d = an*d + b
+		if math.Abs(d) < fpmin {
+			d = fpmin
+		}
+		c = b + an/c
+		if math.Abs(c) < fpmin {
+			c = fpmin
+		}
+		d = 1 / d
+		del := d * c
+		h *= del
+		if math.Abs(del-1) < eps {
+			break
+		}
+	}
+	return math.Exp(-x+a*math.Log(x)-lg) * h
+}
+
+// KolmogorovSmirnov performs the two-sample KS test and returns the
+// statistic D = sup|F1 - F2| and an asymptotic p-value. The Wehe-style
+// traffic-discrimination detector compares the throughput distribution of
+// an original replay against a randomized replay with it.
+func KolmogorovSmirnov(a, b []float64) (d float64, p float64) {
+	if len(a) == 0 || len(b) == 0 {
+		return 0, 1
+	}
+	sa := append([]float64(nil), a...)
+	sb := append([]float64(nil), b...)
+	sort.Float64s(sa)
+	sort.Float64s(sb)
+	var i, j int
+	na, nb := float64(len(sa)), float64(len(sb))
+	for i < len(sa) && j < len(sb) {
+		x := math.Min(sa[i], sb[j])
+		for i < len(sa) && sa[i] <= x {
+			i++
+		}
+		for j < len(sb) && sb[j] <= x {
+			j++
+		}
+		diff := math.Abs(float64(i)/na - float64(j)/nb)
+		if diff > d {
+			d = diff
+		}
+	}
+	ne := na * nb / (na + nb)
+	return d, ksProbability((math.Sqrt(ne) + 0.12 + 0.11/math.Sqrt(ne)) * d)
+}
+
+// ksProbability evaluates the Kolmogorov distribution tail
+// Q_KS(lambda) = 2 * sum_{j>=1} (-1)^{j-1} exp(-2 j^2 lambda^2).
+func ksProbability(lambda float64) float64 {
+	if lambda <= 0 {
+		return 1
+	}
+	sum := 0.0
+	sign := 1.0
+	for j := 1; j <= 100; j++ {
+		term := sign * 2 * math.Exp(-2*float64(j*j)*lambda*lambda)
+		sum += term
+		if math.Abs(term) < 1e-12 {
+			break
+		}
+		sign = -sign
+	}
+	if sum < 0 {
+		return 0
+	}
+	if sum > 1 {
+		return 1
+	}
+	return sum
+}

@@ -1,0 +1,103 @@
+package tcpsim
+
+import (
+	"math/rand/v2"
+	"testing"
+)
+
+// TestByteRangesAgainstReference checks insert/covered/contiguousFrom/
+// trimBelow against a brute-force bitmap model.
+func TestByteRangesAgainstReference(t *testing.T) {
+	r := rand.New(rand.NewPCG(11, 13))
+	for trial := 0; trial < 200; trial++ {
+		var b byteRanges
+		const space = 400
+		ref := make([]bool, space)
+		for op := 0; op < 120; op++ {
+			start := uint64(r.IntN(space - 1))
+			end := start + uint64(1+r.IntN(40))
+			if end > space {
+				end = space
+			}
+			b.insert(start, end)
+			for i := start; i < end; i++ {
+				ref[i] = true
+			}
+		}
+		// Invariants: sorted, disjoint, non-touching.
+		for i, rg := range b.ranges {
+			if rg.Start >= rg.End {
+				t.Fatalf("trial %d: empty range %+v", trial, rg)
+			}
+			if i > 0 && rg.Start <= b.ranges[i-1].End {
+				t.Fatalf("trial %d: ranges touch: %+v %+v", trial, b.ranges[i-1], rg)
+			}
+		}
+		// covered() matches the bitmap for random probes.
+		for probe := 0; probe < 100; probe++ {
+			s := uint64(r.IntN(space - 1))
+			e := s + uint64(1+r.IntN(30))
+			if e > space {
+				e = space
+			}
+			want := true
+			for i := s; i < e; i++ {
+				if !ref[i] {
+					want = false
+					break
+				}
+			}
+			if got := b.covered(s, e); got != want {
+				t.Fatalf("trial %d: covered(%d,%d)=%v want %v (ranges %v)", trial, s, e, got, want, b.ranges)
+			}
+		}
+		// contiguousFrom from a random floor equals the bitmap run end.
+		floor := uint64(r.IntN(space))
+		wantEnd := floor
+		for wantEnd < space && ref[wantEnd] {
+			wantEnd++
+		}
+		cp := byteRanges{ranges: append([]SackBlock(nil), b.ranges...)}
+		if got := cp.contiguousFrom(floor); got != wantEnd {
+			t.Fatalf("trial %d: contiguousFrom(%d)=%d want %d", trial, floor, got, wantEnd)
+		}
+		// trimBelow drops everything under the floor and nothing above.
+		tr := byteRanges{ranges: append([]SackBlock(nil), b.ranges...)}
+		tr.trimBelow(floor)
+		for i := uint64(0); i < space; i++ {
+			want := ref[i] && i >= floor
+			if got := tr.covered(i, i+1); got != want {
+				t.Fatalf("trial %d: after trimBelow(%d), covered(%d)=%v want %v", trial, floor, i, got, want)
+			}
+		}
+	}
+}
+
+func TestByteRangesMaxEnd(t *testing.T) {
+	var b byteRanges
+	if b.maxEnd(7) != 7 {
+		t.Error("empty maxEnd should return floor")
+	}
+	b.insert(10, 20)
+	b.insert(40, 50)
+	if b.maxEnd(0) != 50 {
+		t.Errorf("maxEnd = %d", b.maxEnd(0))
+	}
+	if b.maxEnd(60) != 60 {
+		t.Errorf("maxEnd with higher floor = %d", b.maxEnd(60))
+	}
+}
+
+func TestBlocksAscendingNearestAckFirst(t *testing.T) {
+	var b byteRanges
+	b.insert(100, 200)
+	b.insert(300, 400)
+	b.insert(500, 600)
+	got := b.blocks(2)
+	if len(got) != 2 || got[0] != (SackBlock{100, 200}) || got[1] != (SackBlock{300, 400}) {
+		t.Fatalf("blocks = %v", got)
+	}
+	if n := len(b.blocks(10)); n != 3 {
+		t.Fatalf("blocks(10) = %d entries", n)
+	}
+}

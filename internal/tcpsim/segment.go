@@ -1,0 +1,240 @@
+// Package tcpsim implements a packet-level TCP model over the netem
+// emulator: three-way handshake, an emulated TLS setup phase, cumulative
+// ACKs with SACK-style scoreboarding, CUBIC congestion control (shared
+// with the QUIC implementation via internal/cc), RTO with backoff,
+// receive-window advertisement with Linux-style autotuning (131072 bytes
+// growing to a 6 291 456-byte cap — the paper's testbed kernel defaults),
+// and FIN teardown.
+//
+// Payloads are modeled as byte counts rather than byte contents: every
+// observable the paper's TCP experiments report (throughput, setup time,
+// queueing interaction, PEP behaviour) depends on segment sizes and
+// sequence arithmetic, not payload bytes. Connections are constructed
+// either through the Dial/Listen node glue or directly via NewConn with a
+// custom transmit function — which is how the PEP middlebox splices
+// spoofed connections into the path.
+package tcpsim
+
+import (
+	"fmt"
+
+	"starlinkperf/internal/netem"
+	"starlinkperf/internal/sim"
+)
+
+// Flags is the TCP flag set.
+type Flags uint8
+
+// TCP flags.
+const (
+	FlagSYN Flags = 1 << iota
+	FlagACK
+	FlagFIN
+	FlagRST
+)
+
+// String implements fmt.Stringer.
+func (f Flags) String() string {
+	s := ""
+	if f&FlagSYN != 0 {
+		s += "S"
+	}
+	if f&FlagACK != 0 {
+		s += "A"
+	}
+	if f&FlagFIN != 0 {
+		s += "F"
+	}
+	if f&FlagRST != 0 {
+		s += "R"
+	}
+	if s == "" {
+		return "-"
+	}
+	return s
+}
+
+// SackBlock reports a received byte range [Start, End) above the
+// cumulative ACK.
+type SackBlock struct {
+	Start, End uint64
+}
+
+// Segment is the TCP header + abstract payload carried as a netem packet
+// payload.
+type Segment struct {
+	Flags Flags
+	// Seq is the sequence number of the first payload byte (bytes, not
+	// the wire's modulo-2^32 arithmetic — the emulator does not need
+	// wraparound).
+	Seq uint64
+	// Len is the payload length in bytes.
+	Len int
+	// Ack is the cumulative acknowledgement (valid when FlagACK).
+	Ack uint64
+	// Sack carries selective acknowledgement blocks above Ack.
+	Sack []SackBlock
+	// Wnd is the advertised receive window in bytes.
+	Wnd uint64
+	// TS is the transmission timestamp (TSval); Echo returns the TS of
+	// the segment being acknowledged (TSecr) for RTT sampling, zero when
+	// the acked segment was a retransmission (Karn's rule).
+	TS   sim.Time
+	Echo sim.Time
+	// Retx marks retransmitted payload.
+	Retx bool
+	// Msgs carries application messages anchored at stream offsets
+	// inside this segment's payload (see Conn.WriteMsg).
+	Msgs []AppMsg
+}
+
+// AppMsg is an application message anchored at a stream offset. Payloads
+// are modeled as byte counts, so request/response protocols attach their
+// semantic content (an object request, a replay command) to the first
+// byte of the write that carries them.
+type AppMsg struct {
+	Off uint64
+	Msg any
+}
+
+// String implements fmt.Stringer.
+func (s *Segment) String() string {
+	return fmt.Sprintf("tcp{%v seq=%d len=%d ack=%d wnd=%d}", s.Flags, s.Seq, s.Len, s.Ack, s.Wnd)
+}
+
+// Wire overheads: IPv4 (20) + TCP (20) + timestamp/SACK options (~12).
+const (
+	headerOverhead = 52
+	synSize        = 60
+	ackSize        = headerOverhead
+)
+
+// wireSize returns the on-the-wire size of the segment.
+func (s *Segment) wireSize() int {
+	if s.Flags&FlagSYN != 0 {
+		return synSize
+	}
+	return headerOverhead + s.Len
+}
+
+// flowKey identifies a TCP flow by its 4-tuple as seen at a given point.
+type flowKey struct {
+	srcAddr netem.Addr
+	srcPort uint16
+	dstAddr netem.Addr
+	dstPort uint16
+}
+
+func (k flowKey) reverse() flowKey {
+	return flowKey{srcAddr: k.dstAddr, srcPort: k.dstPort, dstAddr: k.srcAddr, dstPort: k.srcPort}
+}
+
+func keyOf(pkt *netem.Packet) flowKey {
+	return flowKey{srcAddr: pkt.Src, srcPort: pkt.SrcPort, dstAddr: pkt.Dst, dstPort: pkt.DstPort}
+}
+
+// byteRanges tracks received byte ranges [start, end) above a cumulative
+// floor, merging as they become contiguous.
+type byteRanges struct {
+	ranges []SackBlock // sorted by Start, disjoint, non-touching
+}
+
+// insert adds [start, end).
+func (b *byteRanges) insert(start, end uint64) {
+	if end <= start {
+		return
+	}
+	// A fresh slice is required: writing in place can clobber unread
+	// elements when the new range is placed mid-slice.
+	out := make([]SackBlock, 0, len(b.ranges)+1)
+	placed := false
+	for _, r := range b.ranges {
+		switch {
+		case r.End < start: // strictly before, no touch
+			out = append(out, r)
+		case end < r.Start: // strictly after, no touch
+			if !placed {
+				out = append(out, SackBlock{start, end})
+				placed = true
+			}
+			out = append(out, r)
+		default: // overlap or touch: merge
+			if r.Start < start {
+				start = r.Start
+			}
+			if r.End > end {
+				end = r.End
+			}
+		}
+	}
+	if !placed {
+		out = append(out, SackBlock{start, end})
+	}
+	b.ranges = out
+}
+
+// contiguousFrom returns the end of the contiguous region starting at
+// floor, removing fully consumed ranges.
+func (b *byteRanges) contiguousFrom(floor uint64) uint64 {
+	for len(b.ranges) > 0 && b.ranges[0].Start <= floor {
+		if b.ranges[0].End > floor {
+			floor = b.ranges[0].End
+		}
+		b.ranges = b.ranges[1:]
+	}
+	return floor
+}
+
+// trimBelow clips away everything below floor, preserving coverage at and
+// above it (unlike contiguousFrom, which consumes).
+func (b *byteRanges) trimBelow(floor uint64) {
+	out := b.ranges[:0]
+	for _, r := range b.ranges {
+		if r.End <= floor {
+			continue
+		}
+		if r.Start < floor {
+			r.Start = floor
+		}
+		out = append(out, r)
+	}
+	b.ranges = out
+}
+
+// covered reports whether [start, end) is fully contained in the set.
+func (b *byteRanges) covered(start, end uint64) bool {
+	for _, r := range b.ranges {
+		if start >= r.Start && end <= r.End {
+			return true
+		}
+	}
+	return false
+}
+
+// blocks returns up to n ranges in ascending order, nearest the
+// cumulative ACK first. Wire TCP rotates 3 most-recent blocks and lets
+// the sender accumulate coverage over many ACKs; reporting the
+// lowest-lying blocks directly converges to the same sender knowledge
+// with far fewer ACKs, which is what matters for the emulation.
+func (b *byteRanges) blocks(n int) []SackBlock {
+	if len(b.ranges) == 0 {
+		return nil
+	}
+	if n > len(b.ranges) {
+		n = len(b.ranges)
+	}
+	out := make([]SackBlock, n)
+	copy(out, b.ranges[:n])
+	return out
+}
+
+// maxEnd returns the highest received byte, or floor when empty.
+func (b *byteRanges) maxEnd(floor uint64) uint64 {
+	if len(b.ranges) == 0 {
+		return floor
+	}
+	if e := b.ranges[len(b.ranges)-1].End; e > floor {
+		return e
+	}
+	return floor
+}

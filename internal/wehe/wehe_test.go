@@ -1,0 +1,105 @@
+package wehe
+
+import (
+	"testing"
+	"time"
+
+	"starlinkperf/internal/netem"
+	"starlinkperf/internal/sim"
+	"starlinkperf/internal/tcpsim"
+)
+
+func testbed(t *testing.T, shaped bool, shapeMbps float64, targetPort uint16) (*sim.Scheduler, *netem.Node, *netem.Node) {
+	t.Helper()
+	s := sim.NewScheduler(55)
+	nw := netem.New(s)
+	client := nw.NewNode("client", netem.MustParseAddr("10.0.0.2"))
+	mid := nw.NewNode("mid", netem.MustParseAddr("10.0.0.1"))
+	server := nw.NewNode("server", netem.MustParseAddr("8.8.8.8"))
+	access := netem.LinkConfig{RateBps: 100e6, Delay: netem.ConstantDelay(15 * time.Millisecond), QueueBytes: 2 << 20}
+	c2m, m2c := nw.Connect(client, mid, access)
+	m2s, s2m := nw.Connect(mid, server, access)
+	client.SetDefaultRoute(c2m)
+	mid.AddRoute(client.Addr(), m2c)
+	mid.AddRoute(server.Addr(), m2s)
+	server.SetDefaultRoute(s2m)
+	if shaped {
+		mid.AttachDevice(&netem.TokenBucketShaper{
+			RateBps:    shapeMbps * 1e6,
+			BurstBytes: 64 << 10,
+			Match: func(pkt *netem.Packet) bool {
+				// Throttle the service port in both directions.
+				return pkt.SrcPort == targetPort || pkt.DstPort == targetPort
+			},
+		})
+	}
+	return s, client, server
+}
+
+func TestDefaultServices(t *testing.T) {
+	rng := sim.NewRNG(1).Stream("svc")
+	traces := DefaultServices(rng)
+	if len(traces) != 22 {
+		t.Fatalf("services = %d, want 22 (the Wehe suite)", len(traces))
+	}
+	seen := map[string]bool{}
+	for _, tr := range traces {
+		if seen[tr.Name] {
+			t.Errorf("duplicate service %q", tr.Name)
+		}
+		seen[tr.Name] = true
+		if len(tr.Bursts) == 0 {
+			t.Errorf("%s: empty trace", tr.Name)
+		}
+		if tr.TotalBytes() <= 0 || tr.Duration() <= 0 {
+			t.Errorf("%s: degenerate trace", tr.Name)
+		}
+	}
+}
+
+func TestNoDifferentiationOnNeutralPath(t *testing.T) {
+	rng := sim.NewRNG(2).Stream("svc")
+	traces := DefaultServices(rng)
+	tr := &traces[0] // netflix, 15 Mbit/s
+	s, client, server := testbed(t, false, 0, 0)
+	cfg := tcpsim.DefaultConfig()
+	cfg.TLSRounds = 0
+	Server(server, traces, cfg)
+	var det Detection
+	got := false
+	Detect(client, server.Addr(), tr, 3, cfg, func(d Detection) { det, got = d, true })
+	s.RunFor(30 * time.Minute)
+	if !got {
+		t.Fatal("detection did not finish")
+	}
+	if det.Differentiated {
+		t.Errorf("false positive on neutral path: %v", det)
+	}
+	if det.OriginalMbps <= 0 || det.RandomMbps <= 0 {
+		t.Errorf("no throughput measured: %v", det)
+	}
+}
+
+func TestDetectsShapedService(t *testing.T) {
+	rng := sim.NewRNG(3).Stream("svc")
+	traces := DefaultServices(rng)
+	tr := &traces[0] // netflix at port 7001, 15 Mbit/s demand
+	// Shape the service port to 2 Mbit/s: original runs starve.
+	s, client, server := testbed(t, true, 2, tr.Port)
+	cfg := tcpsim.DefaultConfig()
+	cfg.TLSRounds = 0
+	Server(server, traces, cfg)
+	var det Detection
+	got := false
+	Detect(client, server.Addr(), tr, 3, cfg, func(d Detection) { det, got = d, true })
+	s.RunFor(30 * time.Minute)
+	if !got {
+		t.Fatal("detection did not finish")
+	}
+	if !det.Differentiated {
+		t.Errorf("shaper not detected: %v", det)
+	}
+	if det.OriginalMbps >= det.RandomMbps {
+		t.Errorf("original should be slower than randomized: %v", det)
+	}
+}

@@ -1,0 +1,125 @@
+// Package starlinkperf reproduces "A First Look at Starlink Performance"
+// (Michel, Trevisan, Giordano, Bonaventure — IMC '22) as a deterministic
+// simulation: a LEO-constellation-backed emulated testbed with the
+// paper's three vantage points (Starlink, GEO SatCom with a dual PEP,
+// wired campus), the measurement tools it used (ping, traceroute,
+// Tracebox, an Ookla-like speedtest, QUIC bulk and message workloads, a
+// BrowserTime-like web QoE harness, a Wehe-like traffic-discrimination
+// detector), and campaign drivers that regenerate every table and figure
+// of the paper's evaluation.
+//
+// Quick start:
+//
+//	tb := starlinkperf.NewTestbed(starlinkperf.DefaultConfig())
+//	lat := tb.RunLatencyCampaign(24*time.Hour, 5*time.Minute)
+//	for _, row := range starlinkperf.Figure1(lat, tb.Anchors) {
+//	    fmt.Println(row.Anchor, row.Summary)
+//	}
+//
+// Everything runs on a virtual clock: months of measurements complete in
+// seconds, and a fixed Config.Seed reproduces a campaign bit for bit.
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+// paper-vs-measured record.
+package starlinkperf
+
+import (
+	"starlinkperf/internal/core"
+	"starlinkperf/internal/errant"
+	"starlinkperf/internal/sim"
+)
+
+// Config parameterizes the testbed (seed, Starlink access model, SatCom
+// model, web corpus size, campaign scenario events).
+type Config = core.Config
+
+// StarlinkParams models the Starlink access link.
+type StarlinkParams = core.StarlinkParams
+
+// SatComParams models the GEO access.
+type SatComParams = core.SatComParams
+
+// LoadEpisode adds extra delay during a campaign window (the paper's
+// late-April RTT bump).
+type LoadEpisode = core.LoadEpisode
+
+// Testbed is the wired emulation environment with its three vantage
+// points and all destination infrastructure.
+type Testbed = core.Testbed
+
+// Anchor is one latency target of the ping campaign.
+type Anchor = core.Anchor
+
+// Tech selects a vantage point for comparative campaigns.
+type Tech = core.Tech
+
+// Vantage points.
+const (
+	TechStarlink = core.TechStarlink
+	TechSatCom   = core.TechSatCom
+	TechWired    = core.TechWired
+)
+
+// Campaign result types.
+type (
+	// LatencyData is the anchor ping campaign output (Figures 1 and 2).
+	LatencyData = core.LatencyData
+	// H3Campaign aggregates bulk QUIC transfers (Figure 3, Table 2,
+	// Figures 4 and 5).
+	H3Campaign = core.H3Campaign
+	// MsgCampaign aggregates low-rate message sessions (Table 2,
+	// Figure 4b).
+	MsgCampaign = core.MsgCampaign
+	// MiddleboxAudit holds the §3.5 traceroute/Tracebox/PEP findings.
+	MiddleboxAudit = core.MiddleboxAudit
+)
+
+// Figure/table builders and renderers.
+type (
+	// Figure1Row is one anchor's RTT boxplot.
+	Figure1Row = core.Figure1Row
+	// Figure2Bin is one 6-hour bin of the European RTT timeline.
+	Figure2Bin = core.Figure2Bin
+	// Figure3 is the RTT-under-load CDF pair.
+	Figure3 = core.Figure3
+	// Table2 is the QUIC loss-ratio table.
+	Table2 = core.Table2
+	// Figure4 is a loss-burst-length CDF pair.
+	Figure4 = core.Figure4
+	// Figure5 is the throughput distribution set.
+	Figure5 = core.Figure5
+	// Figure6 is the web QoE ECDF set.
+	Figure6 = core.Figure6
+)
+
+// DefaultConfig returns the calibrated testbed configuration (see
+// EXPERIMENTS.md for the calibration record).
+func DefaultConfig() Config { return core.DefaultConfig() }
+
+// DefaultStarlinkParams returns the calibrated Starlink access model.
+func DefaultStarlinkParams() StarlinkParams { return core.DefaultStarlinkParams() }
+
+// DefaultSatComParams returns the calibrated GEO SatCom model.
+func DefaultSatComParams() SatComParams { return core.DefaultSatComParams() }
+
+// NewTestbed builds the full emulated environment.
+func NewTestbed(cfg Config) *Testbed { return core.NewTestbed(cfg) }
+
+// Figure builders (see the core package for the Render* printers).
+var (
+	Figure1     = core.Figure1
+	Figure2     = core.Figure2
+	MakeFigure3 = core.MakeFigure3
+	MakeTable2  = core.MakeTable2
+	MakeFigure4 = core.MakeFigure4
+	MakeFigure5 = core.MakeFigure5
+	MakeFigure6 = core.MakeFigure6
+)
+
+// ErrantProfiles returns the data-driven emulator models the paper
+// released as its artifact (plus comparison technologies), usable without
+// the full testbed.
+func ErrantProfiles() map[string]errant.Profile { return errant.Builtin() }
+
+// NewRNG returns a deterministic random source compatible with the
+// profile draw APIs.
+func NewRNG(seed uint64) *sim.RNG { return sim.NewRNG(seed) }
