@@ -1,0 +1,24 @@
+GO ?= go
+
+.PHONY: check fmt vet build test race bench
+
+check: ## gofmt + vet + build + race-enabled tests (what CI runs)
+	./ci.sh
+
+fmt:
+	gofmt -l -w .
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench . -benchtime 1x -v .

@@ -14,6 +14,7 @@ package starlinkperf
 // (EXPERIMENTS.md records both sides).
 
 import (
+	"runtime"
 	"strings"
 	"testing"
 	"time"
@@ -442,6 +443,44 @@ func BenchmarkAblationRwnd(b *testing.B) {
 			b.ReportMetric(l, "rwnd150MB-mbps")
 		}
 	}
+}
+
+// --- parallel campaign runner ------------------------------------------
+
+// benchLatencyReps runs the same 8-repetition latency campaign with a
+// fixed worker count; comparing the Sequential and Parallel variants
+// (e.g. with benchstat) measures the speedup of the sharded runner. The
+// result is worker-count invariant, so the two variants do identical
+// work — on a multi-core machine the parallel one should be >=2x faster
+// with 4+ workers, while on a single CPU it only measures pool overhead.
+func benchLatencyReps(b *testing.B, workers int) *core.LatencyData {
+	var lat *core.LatencyData
+	for i := 0; i < b.N; i++ {
+		lat = core.RunLatencyCampaignParallel(core.DefaultConfig(), 8, 12*time.Hour, 5*time.Minute,
+			core.Options{Workers: workers, Seed: 1})
+	}
+	b.ReportMetric(float64(workers), "workers")
+	b.ReportMetric(float64(lat.Sent), "probes")
+	return lat
+}
+
+func BenchmarkLatencyCampaignSequential(b *testing.B) {
+	benchLatencyReps(b, 1)
+}
+
+func BenchmarkLatencyCampaignParallel(b *testing.B) {
+	seq := benchLatencyReps(b, max(4, runtime.GOMAXPROCS(0)))
+	b.StopTimer()
+	if lone := benchOnce(); seq.Sent != lone.Sent || seq.Lost != lone.Lost {
+		b.Fatalf("parallel run diverged from 1-worker run: %d/%d vs %d/%d",
+			seq.Sent, seq.Lost, lone.Sent, lone.Lost)
+	}
+}
+
+// benchOnce reruns the campaign on one worker for the invariance check.
+func benchOnce() *core.LatencyData {
+	return core.RunLatencyCampaignParallel(core.DefaultConfig(), 8, 12*time.Hour, 5*time.Minute,
+		core.Options{Workers: 1, Seed: 1})
 }
 
 // --- helpers -----------------------------------------------------------

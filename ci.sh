@@ -1,0 +1,26 @@
+#!/bin/sh
+# ci.sh — the full gate: formatting, vet, build, and the test suite under
+# the race detector (the parallel campaign runner's tests force Workers=4
+# so the concurrent path is exercised even on a single-CPU machine).
+set -eu
+
+cd "$(dirname "$0")"
+
+echo "== gofmt"
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "gofmt needed on:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
+echo "== go vet"
+go vet ./...
+
+echo "== go build"
+go build ./...
+
+echo "== go test -race"
+go test -race ./...
+
+echo "CI: all green"

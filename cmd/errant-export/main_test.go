@@ -1,0 +1,38 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunWritesProfiles(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "profiles.json")
+	var out, errOut strings.Builder
+	if err := run([]string{"-tests", "1", "-o", path, "-workers", "2"}, &out, &errOut); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(out.String(), "wrote") || !strings.Contains(out.String(), "starlink-fitted") {
+		t.Errorf("summary output incomplete:\n%s", out.String())
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("profiles not written: %v", err)
+	}
+	var profiles map[string]json.RawMessage
+	if err := json.Unmarshal(data, &profiles); err != nil {
+		t.Fatalf("output is not a JSON profile map: %v", err)
+	}
+	if _, ok := profiles["starlink-fitted"]; !ok {
+		t.Errorf("starlink-fitted profile missing; have %d profiles", len(profiles))
+	}
+}
+
+func TestRunRejectsBadArgs(t *testing.T) {
+	var out, errOut strings.Builder
+	if err := run([]string{"-tests", "0"}, &out, &errOut); err == nil {
+		t.Error("tests 0 accepted")
+	}
+}

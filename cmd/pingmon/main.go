@@ -1,11 +1,15 @@
 // Command pingmon runs the anchor latency monitor (Figures 1 and 2): it
 // pings the 11-anchor fleet from PC-Starlink on the paper's cadence and
-// prints the per-anchor distributions and the European timeline.
+// prints the per-anchor distributions and the European timeline. With
+// -reps > 1 it merges several independent repetitions, sharded across
+// -workers goroutines with deterministic per-shard seeds.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
+	"os"
 	"strings"
 	"time"
 
@@ -13,11 +17,27 @@ import (
 )
 
 func main() {
-	days := flag.Int("days", 7, "campaign length in days")
-	interval := flag.Duration("interval", 5*time.Minute, "probe round interval")
-	seed := flag.Uint64("seed", 1, "simulation seed")
-	growth := flag.Bool("scenario", false, "include the fleet-growth and load-episode scenario events")
-	flag.Parse()
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+}
+
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("pingmon", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	days := fs.Int("days", 7, "campaign length in days")
+	interval := fs.Duration("interval", 5*time.Minute, "probe round interval")
+	seed := fs.Uint64("seed", 1, "simulation seed")
+	growth := fs.Bool("scenario", false, "include the fleet-growth and load-episode scenario events")
+	reps := fs.Int("reps", 1, "independent campaign repetitions to merge")
+	workers := fs.Int("workers", 0, "parallel workers for -reps > 1 (0 = GOMAXPROCS)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *days < 1 || *reps < 1 {
+		return fmt.Errorf("days and reps must be >= 1")
+	}
 
 	cfg := core.DefaultConfig()
 	cfg.Seed = *seed
@@ -29,13 +49,25 @@ func main() {
 			ExtraOneWay: 4 * time.Millisecond,
 		}
 	}
-	tb := core.NewTestbed(cfg)
-	lat := tb.RunLatencyCampaign(time.Duration(*days)*24*time.Hour, *interval)
+	dur := time.Duration(*days) * 24 * time.Hour
+
+	var lat *core.LatencyData
+	var anchors []core.Anchor
+	if *reps > 1 {
+		opts := core.Options{Workers: *workers, Seed: *seed}
+		lat = core.RunLatencyCampaignParallel(cfg, *reps, dur, *interval, opts)
+		anchors = core.NewTestbed(cfg).Anchors
+	} else {
+		tb := core.NewTestbed(cfg)
+		lat = tb.RunLatencyCampaign(dur, *interval)
+		anchors = tb.Anchors
+	}
 
 	var out strings.Builder
-	core.RenderFigure1(&out, core.Figure1(lat, tb.Anchors))
+	core.RenderFigure1(&out, core.Figure1(lat, anchors))
 	out.WriteString("\n")
 	core.RenderFigure2(&out, core.Figure2(lat))
-	fmt.Printf("%s\nprobes sent=%d lost=%d (%.2f%%)\n",
+	_, err := fmt.Fprintf(stdout, "%s\nprobes sent=%d lost=%d (%.2f%%)\n",
 		out.String(), lat.Sent, lat.Lost, 100*float64(lat.Lost)/float64(lat.Sent))
+	return err
 }

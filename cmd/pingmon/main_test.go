@@ -1,0 +1,41 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunSmoke(t *testing.T) {
+	var out, errOut strings.Builder
+	if err := run([]string{"-days", "1", "-interval", "2h"}, &out, &errOut); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	for _, want := range []string{"Figure 1", "Figure 2", "probes sent="} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestRunRepsParallelMatchesSingleWorker(t *testing.T) {
+	render := func(workers string) string {
+		var out, errOut strings.Builder
+		if err := run([]string{"-days", "1", "-interval", "2h", "-reps", "3", "-workers", workers}, &out, &errOut); err != nil {
+			t.Fatalf("run(workers=%s): %v", workers, err)
+		}
+		return out.String()
+	}
+	if a, b := render("1"), render("4"); a != b {
+		t.Errorf("merged output differs between 1 and 4 workers:\n--- 1\n%s\n--- 4\n%s", a, b)
+	}
+}
+
+func TestRunRejectsBadArgs(t *testing.T) {
+	var out, errOut strings.Builder
+	if err := run([]string{"-days", "0"}, &out, &errOut); err == nil {
+		t.Error("days 0 accepted")
+	}
+	if err := run([]string{"-bogus"}, &out, &errOut); err == nil {
+		t.Error("unknown flag accepted")
+	}
+}

@@ -1,0 +1,52 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunH3WithPcap(t *testing.T) {
+	pcap := filepath.Join(t.TempDir(), "first.pcap")
+	var out, errOut strings.Builder
+	if err := run([]string{"-mode", "h3", "-n", "1", "-size", "5", "-pcap", pcap}, &out, &errOut); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	got := out.String()
+	for _, want := range []string{"H3 down: 1 x 5MB transfers", "goodput:", "RTT:", "loss:", "capture records to"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q in:\n%s", want, got)
+		}
+	}
+	info, err := os.Stat(pcap)
+	if err != nil {
+		t.Fatalf("pcap not written: %v", err)
+	}
+	if info.Size() <= 24 {
+		t.Errorf("pcap has no packet records (size=%d)", info.Size())
+	}
+}
+
+func TestRunMessages(t *testing.T) {
+	var out, errOut strings.Builder
+	if err := run([]string{"-mode", "messages", "-n", "1", "-dur", "30s", "-dir", "up"}, &out, &errOut); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	got := out.String()
+	for _, want := range []string{"messages up: 1 sessions of 30s", "RTT:", "loss:"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q in:\n%s", want, got)
+		}
+	}
+}
+
+func TestRunRejectsBadArgs(t *testing.T) {
+	var out, errOut strings.Builder
+	if err := run([]string{"-mode", "ftp"}, &out, &errOut); err == nil {
+		t.Error("unknown mode accepted")
+	}
+	if err := run([]string{"-n", "0"}, &out, &errOut); err == nil {
+		t.Error("n 0 accepted")
+	}
+}

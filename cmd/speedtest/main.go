@@ -1,11 +1,13 @@
 // Command speedtest runs Ookla-style measurements (closest-server
 // selection, parallel TCP connections) from one of the three vantage
-// points.
+// points. With the default connection count the tests fan out across
+// -workers goroutines, one deterministically seeded testbed per shard.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
@@ -16,36 +18,56 @@ import (
 )
 
 func main() {
-	techName := flag.String("tech", "starlink", "vantage point: starlink | satcom | wired")
-	count := flag.Int("count", 10, "number of tests")
-	gap := flag.Duration("gap", 30*time.Minute, "virtual time between tests")
-	conns := flag.Int("conns", 4, "parallel TCP connections")
-	seed := flag.Uint64("seed", 1, "simulation seed")
-	flag.Parse()
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+}
+
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("speedtest", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	techName := fs.String("tech", "starlink", "vantage point: starlink | satcom | wired")
+	count := fs.Int("count", 10, "number of tests")
+	gap := fs.Duration("gap", 30*time.Minute, "virtual time between tests")
+	conns := fs.Int("conns", 4, "parallel TCP connections")
+	seed := fs.Uint64("seed", 1, "simulation seed")
+	workers := fs.Int("workers", 0, "parallel campaign workers (0 = GOMAXPROCS)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	tech, ok := parseTech(*techName)
 	if !ok {
-		fmt.Fprintf(os.Stderr, "unknown tech %q\n", *techName)
-		os.Exit(2)
+		return fmt.Errorf("unknown tech %q", *techName)
+	}
+	if *count < 1 {
+		return fmt.Errorf("count must be >= 1")
 	}
 	cfg := core.DefaultConfig()
 	cfg.Seed = *seed
-	tb := core.NewTestbed(cfg)
 
 	node := map[core.Tech]string{core.TechStarlink: "pc-starlink", core.TechSatCom: "pc-satcom", core.TechWired: "pc-wired"}[tech]
-	fmt.Printf("speedtest from %s (%d tests, %d connections):\n", node, *count, *conns)
+	fmt.Fprintf(stdout, "speedtest from %s (%d tests, %d connections):\n", node, *count, *conns)
 
-	results := runCampaign(tb, tech, *count, *gap, *conns)
+	var results []measure.SpeedtestResult
+	if *conns == measure.DefaultSpeedtestConfig().Connections {
+		opts := core.Options{Workers: *workers, Seed: *seed}
+		results = core.RunSpeedtestCampaignParallel(cfg, tech, *count, *gap, opts)
+	} else {
+		results = runCustomConns(core.NewTestbed(cfg), tech, *count, *gap, *conns)
+	}
 	var down, up []float64
 	for i, r := range results {
-		fmt.Printf("  #%02d  server=%-14s ping=%-8s down=%7.1f Mbit/s  up=%6.1f Mbit/s\n",
+		fmt.Fprintf(stdout, "  #%02d  server=%-14s ping=%-8s down=%7.1f Mbit/s  up=%6.1f Mbit/s\n",
 			i+1, r.Server, r.PingRTT.Round(100*time.Microsecond), r.DownloadMbps, r.UploadMbps)
 		down = append(down, r.DownloadMbps)
 		up = append(up, r.UploadMbps)
 	}
 	d, u := stats.Summarize(down), stats.Summarize(up)
-	fmt.Printf("download: med=%.1f p25=%.1f p75=%.1f max=%.1f Mbit/s\n", d.P50, d.P25, d.P75, d.Max)
-	fmt.Printf("upload:   med=%.1f p25=%.1f p75=%.1f max=%.1f Mbit/s\n", u.P50, u.P25, u.P75, u.Max)
+	fmt.Fprintf(stdout, "download: med=%.1f p25=%.1f p75=%.1f max=%.1f Mbit/s\n", d.P50, d.P25, d.P75, d.Max)
+	_, err := fmt.Fprintf(stdout, "upload:   med=%.1f p25=%.1f p75=%.1f max=%.1f Mbit/s\n", u.P50, u.P25, u.P75, u.Max)
+	return err
 }
 
 func parseTech(s string) (core.Tech, bool) {
@@ -60,11 +82,9 @@ func parseTech(s string) (core.Tech, bool) {
 	return 0, false
 }
 
-func runCampaign(tb *core.Testbed, tech core.Tech, n int, gap time.Duration, conns int) []measure.SpeedtestResult {
-	if conns == 4 {
-		return tb.RunSpeedtestCampaign(tech, n, gap)
-	}
-	// Custom connection count: drive measure directly.
+// runCustomConns drives measure directly for a non-default connection
+// count, sequentially on one testbed.
+func runCustomConns(tb *core.Testbed, tech core.Tech, n int, gap time.Duration, conns int) []measure.SpeedtestResult {
 	var out []measure.SpeedtestResult
 	prober := measure.NewProber(vantageNode(tb, tech))
 	cfg := measure.DefaultSpeedtestConfig()

@@ -1,0 +1,39 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunSmoke(t *testing.T) {
+	var out, errOut strings.Builder
+	if err := run([]string{"-count", "1", "-gap", "1s"}, &out, &errOut); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	got := out.String()
+	for _, want := range []string{"speedtest from pc-starlink", "#01", "download:", "upload:"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestRunCustomConns(t *testing.T) {
+	var out, errOut strings.Builder
+	if err := run([]string{"-count", "1", "-gap", "1s", "-conns", "2", "-tech", "wired"}, &out, &errOut); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(out.String(), "1 tests, 2 connections") {
+		t.Errorf("custom connection count not reflected in output:\n%s", out.String())
+	}
+}
+
+func TestRunRejectsBadArgs(t *testing.T) {
+	var out, errOut strings.Builder
+	if err := run([]string{"-tech", "dialup"}, &out, &errOut); err == nil {
+		t.Error("unknown tech accepted")
+	}
+	if err := run([]string{"-count", "0"}, &out, &errOut); err == nil {
+		t.Error("count 0 accepted")
+	}
+}

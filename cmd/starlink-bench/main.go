@@ -4,51 +4,194 @@
 // Scale is controlled by -scale: 1 is a quick pass (~1 minute of wall
 // time), larger values lengthen campaigns towards the paper's sample
 // sizes (RTT-sample counts in the millions need -scale 8 and some
-// patience).
+// patience). The independent campaigns fan out over -workers goroutines,
+// each on its own deterministically seeded testbed, so the output is
+// identical for any worker count.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
 	"starlinkperf/internal/core"
+	"starlinkperf/internal/measure"
 	"starlinkperf/internal/web"
+	"starlinkperf/internal/wehe"
 )
 
 func main() {
-	scale := flag.Int("scale", 1, "campaign scale factor")
-	seed := flag.Uint64("seed", 1, "simulation seed")
-	flag.Parse()
-	if *scale < 1 {
-		fmt.Fprintln(os.Stderr, "scale must be >= 1")
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
+}
+
+// sizes fixes every campaign dimension of one bench run.
+type sizes struct {
+	latDays     time.Duration
+	latInterval time.Duration
+	h3Down      int
+	h3Up        int
+	h3Size      int
+	msgSessions int
+	msgDur      time.Duration
+	stStarlink  int
+	stSatCom    int
+	webVisits   int
+	weheRepeats int
+	baseline    int
+}
+
+func sizesFor(scale int, quick bool) sizes {
+	if quick {
+		return sizes{
+			latDays: 6 * time.Hour, latInterval: 30 * time.Minute,
+			h3Down: 1, h3Up: 1, h3Size: 10 << 20,
+			msgSessions: 1, msgDur: time.Minute,
+			stStarlink: 2, stSatCom: 2,
+			webVisits: 4, weheRepeats: 1, baseline: 1,
+		}
+	}
+	latInterval := 30 * time.Minute
+	if scale >= 4 {
+		latInterval = 5 * time.Minute
+	}
+	return sizes{
+		latDays: time.Duration(min(150, 10*scale)) * 24 * time.Hour, latInterval: latInterval,
+		h3Down: 6 * scale, h3Up: 4 * scale, h3Size: 100 << 20,
+		msgSessions: 4 * scale, msgDur: 2 * time.Minute,
+		stStarlink: 16 * scale, stSatCom: 8 * scale,
+		webVisits: 40 * scale, weheRepeats: min(10, 2*scale), baseline: 4,
+	}
+}
+
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("starlink-bench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	scale := fs.Int("scale", 1, "campaign scale factor")
+	seed := fs.Uint64("seed", 1, "simulation seed")
+	workers := fs.Int("workers", 0, "parallel campaign workers (0 = GOMAXPROCS)")
+	quick := fs.Bool("quick", false, "tiny smoke-sized campaigns for CI (ignores -scale)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *scale < 1 {
+		return fmt.Errorf("scale must be >= 1")
+	}
+	sz := sizesFor(*scale, *quick)
 
 	cfg := core.DefaultConfig()
 	cfg.Seed = *seed
-	var out strings.Builder
-
-	// Table 1 + Figures 1-2 share one long latency campaign with the
+	// Table 1 + Figures 1-2 use one long latency campaign with the
 	// paper's scenario events.
 	latCfg := cfg
 	latCfg.InitialShellFraction = 0.86
 	latCfg.FleetGrowthAt = 53 * 24 * time.Hour
 	latCfg.Load = core.LoadEpisode{Start: 125 * 24 * time.Hour, End: 139 * 24 * time.Hour, ExtraOneWay: 4 * time.Millisecond}
-	latTB := core.NewTestbed(latCfg)
-	latDays := time.Duration(min(150, 10**scale)) * 24 * time.Hour
-	interval := 30 * time.Minute
-	if *scale >= 4 {
-		interval = 5 * time.Minute
-	}
-	fmt.Fprintf(os.Stderr, "latency campaign: %s at %s cadence...\n", latDays, interval)
-	lat := latTB.RunLatencyCampaign(latDays, interval)
 
-	core.RenderTable1(&out, latDays, latDays, latDays, latDays, len(latTB.Anchors), len(latTB.Sites))
+	// Every campaign below is independent: each runs on its own testbed
+	// seeded per job, so the sweep fans them out across the worker pool
+	// and the merge order (and thus the report) is worker-count
+	// invariant.
+	var (
+		lat                 *core.LatencyData
+		latAnchors          []core.Anchor
+		latSites            int
+		h3d, h3u            *core.H3Campaign
+		md, mu              *core.MsgCampaign
+		sl, sc              []measure.SpeedtestResult
+		webSL, webSC, webWD []web.VisitResult
+		mbSL, mbSC          core.MiddleboxAudit
+		weheDs              []wehe.Detection
+		baseSent, baseLost  uint64
+	)
+	jobs := []core.SweepJob{
+		{Name: "latency", Cfg: latCfg, Run: func(tb *core.Testbed) any {
+			lat = tb.RunLatencyCampaign(sz.latDays, sz.latInterval)
+			latAnchors = tb.Anchors
+			latSites = len(tb.Sites)
+			return nil
+		}},
+		{Name: "h3-down", Cfg: cfg, Run: func(tb *core.Testbed) any {
+			h3d = tb.RunH3Campaign(sz.h3Down, sz.h3Size, true, 20*time.Second)
+			return nil
+		}},
+		{Name: "h3-up", Cfg: cfg, Run: func(tb *core.Testbed) any {
+			h3u = tb.RunH3Campaign(sz.h3Up, sz.h3Size, false, 20*time.Second)
+			return nil
+		}},
+		{Name: "messages-down", Cfg: cfg, Run: func(tb *core.Testbed) any {
+			md = tb.RunMessagesCampaign(sz.msgSessions, sz.msgDur, true)
+			return nil
+		}},
+		{Name: "messages-up", Cfg: cfg, Run: func(tb *core.Testbed) any {
+			mu = tb.RunMessagesCampaign(sz.msgSessions, sz.msgDur, false)
+			return nil
+		}},
+		{Name: "speedtest-starlink", Cfg: cfg, Run: func(tb *core.Testbed) any {
+			sl = tb.RunSpeedtestCampaign(core.TechStarlink, sz.stStarlink, 30*time.Minute)
+			return nil
+		}},
+		{Name: "speedtest-satcom", Cfg: cfg, Run: func(tb *core.Testbed) any {
+			sc = tb.RunSpeedtestCampaign(core.TechSatCom, sz.stSatCom, 30*time.Minute)
+			return nil
+		}},
+		{Name: "web-starlink", Cfg: cfg, Run: func(tb *core.Testbed) any {
+			webSL = tb.RunWebCampaign(core.TechStarlink, sz.webVisits, 2*time.Second)
+			return nil
+		}},
+		{Name: "web-satcom", Cfg: cfg, Run: func(tb *core.Testbed) any {
+			webSC = tb.RunWebCampaign(core.TechSatCom, sz.webVisits, 2*time.Second)
+			return nil
+		}},
+		{Name: "web-wired", Cfg: cfg, Run: func(tb *core.Testbed) any {
+			webWD = tb.RunWebCampaign(core.TechWired, sz.webVisits, 2*time.Second)
+			return nil
+		}},
+		{Name: "middlebox-starlink", Cfg: cfg, Run: func(tb *core.Testbed) any {
+			mbSL = tb.RunMiddleboxAudit(core.TechStarlink)
+			return nil
+		}},
+		{Name: "middlebox-satcom", Cfg: cfg, Run: func(tb *core.Testbed) any {
+			mbSC = tb.RunMiddleboxAudit(core.TechSatCom)
+			return nil
+		}},
+		{Name: "wehe", Cfg: cfg, Run: func(tb *core.Testbed) any {
+			weheDs = tb.RunWeheAudit(core.TechStarlink, sz.weheRepeats)
+			return nil
+		}},
+		{Name: "wired-baseline", Cfg: cfg, Run: func(tb *core.Testbed) any {
+			bc := tb.RunH3CampaignFrom(tb.PCWired, sz.baseline, sz.h3Size, true, 5*time.Second, tb.QUICConf)
+			for _, r := range bc.Records {
+				baseSent += r.Loss.PacketsSent
+				baseLost += r.Loss.PacketsLost
+			}
+			return nil
+		}},
+	}
+	opts := core.Options{
+		Workers: *workers,
+		Seed:    *seed,
+		Progress: func(done, total int) {
+			fmt.Fprintf(stderr, "campaigns: %d/%d done\n", done, total)
+		},
+	}
+	nw := *workers
+	if nw <= 0 {
+		nw = runtime.GOMAXPROCS(0)
+	}
+	fmt.Fprintf(stderr, "running %d campaigns on %d workers...\n", len(jobs), nw)
+	core.RunSweep(jobs, opts)
+
+	var out strings.Builder
+	core.RenderTable1(&out, sz.latDays, sz.latDays, sz.latDays, sz.latDays, len(latAnchors), latSites)
 	out.WriteString("\n")
-	core.RenderFigure1(&out, core.Figure1(lat, latTB.Anchors))
+	core.RenderFigure1(&out, core.Figure1(lat, latAnchors))
 	out.WriteString("\n")
 	bins := core.Figure2(lat)
 	step := max(1, len(bins)/24)
@@ -58,15 +201,6 @@ func main() {
 	}
 	core.RenderFigure2(&out, shown)
 	out.WriteString("\n")
-
-	// QUIC campaigns on a fresh testbed.
-	tb := core.NewTestbed(cfg)
-	fmt.Fprintln(os.Stderr, "H3 bulk campaigns...")
-	h3d := tb.RunH3Campaign(6**scale, 100<<20, true, 20*time.Second)
-	h3u := tb.RunH3Campaign(4**scale, 100<<20, false, 20*time.Second)
-	fmt.Fprintln(os.Stderr, "message campaigns...")
-	md := tb.RunMessagesCampaign(4**scale, 2*time.Minute, true)
-	mu := tb.RunMessagesCampaign(4**scale, 2*time.Minute, false)
 
 	core.RenderFigure3(&out, core.MakeFigure3(h3d, h3u))
 	out.WriteString("\n")
@@ -78,39 +212,20 @@ func main() {
 	core.LossDurations(&out, "message downloads", md.EventDurations())
 	out.WriteString("\n")
 
-	fmt.Fprintln(os.Stderr, "speedtest campaigns...")
-	sl := tb.RunSpeedtestCampaign(core.TechStarlink, 16**scale, 30*time.Minute)
-	sc := tb.RunSpeedtestCampaign(core.TechSatCom, 8**scale, 30*time.Minute)
 	core.RenderFigure5(&out, core.MakeFigure5(sl, sc, h3d, h3u))
 	out.WriteString("\n")
 
-	fmt.Fprintln(os.Stderr, "web campaigns...")
-	visits := map[string][]web.VisitResult{
-		"starlink": tb.RunWebCampaign(core.TechStarlink, 40**scale, 2*time.Second),
-		"satcom":   tb.RunWebCampaign(core.TechSatCom, 40**scale, 2*time.Second),
-		"wired":    tb.RunWebCampaign(core.TechWired, 40**scale, 2*time.Second),
-	}
+	visits := map[string][]web.VisitResult{"starlink": webSL, "satcom": webSC, "wired": webWD}
 	core.RenderFigure6(&out, core.MakeFigure6(visits))
 	out.WriteString("\n")
 
-	fmt.Fprintln(os.Stderr, "middlebox + traffic-discrimination audits...")
-	mbSL := core.NewTestbed(cfg)
-	core.RenderMiddleboxAudit(&out, "starlink", mbSL.RunMiddleboxAudit(core.TechStarlink))
-	mbSC := core.NewTestbed(cfg)
-	core.RenderMiddleboxAudit(&out, "satcom", mbSC.RunMiddleboxAudit(core.TechSatCom))
+	core.RenderMiddleboxAudit(&out, "starlink", mbSL)
+	core.RenderMiddleboxAudit(&out, "satcom", mbSC)
 	out.WriteString("\n")
-	wtb := core.NewTestbed(cfg)
-	core.RenderWehe(&out, "starlink", wtb.RunWeheAudit(core.TechStarlink, min(10, 2**scale)))
+	core.RenderWehe(&out, "starlink", weheDs)
 
-	// Wired-baseline loss check (§3.2).
-	base := core.NewTestbed(cfg)
-	bc := base.RunH3CampaignFrom(base.PCWired, 4, 100<<20, true, 5*time.Second, base.QUICConf)
-	var sent, lost uint64
-	for _, r := range bc.Records {
-		sent += r.Loss.PacketsSent
-		lost += r.Loss.PacketsLost
-	}
-	fmt.Fprintf(&out, "\nWired-baseline H3 downloads: %d packets sent, %d lost (paper: 10 of 5.8M)\n", sent, lost)
+	fmt.Fprintf(&out, "\nWired-baseline H3 downloads: %d packets sent, %d lost (paper: 10 of 5.8M)\n", baseSent, baseLost)
 
-	fmt.Print(out.String())
+	_, err := io.WriteString(stdout, out.String())
+	return err
 }

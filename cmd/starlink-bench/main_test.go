@@ -1,0 +1,37 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunQuickSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("quick bench run still takes ~10s")
+	}
+	var out, errOut strings.Builder
+	if err := run([]string{"-quick", "-workers", "2"}, &out, &errOut); err != nil {
+		t.Fatalf("run: %v\nstderr:\n%s", err, errOut.String())
+	}
+	for _, want := range []string{
+		"Table 1", "Figure 1", "Figure 2", "Figure 3", "Table 2",
+		"Figure 5", "Figure 6", "Wired-baseline H3 downloads",
+	} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+	if !strings.Contains(errOut.String(), "campaigns:") {
+		t.Error("progress lines missing from stderr")
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	var out, errOut strings.Builder
+	if err := run([]string{"-scale", "0"}, &out, &errOut); err == nil {
+		t.Error("scale 0 accepted")
+	}
+	if err := run([]string{"-no-such-flag"}, &out, &errOut); err == nil {
+		t.Error("unknown flag accepted")
+	}
+}

@@ -6,6 +6,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -13,9 +14,20 @@ import (
 )
 
 func main() {
-	techName := flag.String("tech", "starlink", "vantage point: starlink | satcom | wired")
-	seed := flag.Uint64("seed", 1, "simulation seed")
-	flag.Parse()
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+}
+
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("tracebox", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	techName := fs.String("tech", "starlink", "vantage point: starlink | satcom | wired")
+	seed := fs.Uint64("seed", 1, "simulation seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	var tech core.Tech
 	switch *techName {
@@ -26,8 +38,7 @@ func main() {
 	case "wired":
 		tech = core.TechWired
 	default:
-		fmt.Fprintf(os.Stderr, "unknown tech %q\n", *techName)
-		os.Exit(2)
+		return fmt.Errorf("unknown tech %q", *techName)
 	}
 	cfg := core.DefaultConfig()
 	cfg.Seed = *seed
@@ -35,5 +46,6 @@ func main() {
 	audit := tb.RunMiddleboxAudit(tech)
 	var out strings.Builder
 	core.RenderMiddleboxAudit(&out, *techName, audit)
-	fmt.Print(out.String())
+	_, err := io.WriteString(stdout, out.String())
+	return err
 }

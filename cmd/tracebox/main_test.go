@@ -1,0 +1,30 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunSmoke(t *testing.T) {
+	var out, errOut strings.Builder
+	if err := run(nil, &out, &errOut); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(out.String(), "starlink") {
+		t.Errorf("audit output missing vantage name:\n%s", out.String())
+	}
+	var wired strings.Builder
+	if err := run([]string{"-tech", "wired"}, &wired, &errOut); err != nil {
+		t.Fatalf("run wired: %v", err)
+	}
+	if wired.String() == out.String() {
+		t.Error("wired audit identical to starlink audit")
+	}
+}
+
+func TestRunRejectsBadArgs(t *testing.T) {
+	var out, errOut strings.Builder
+	if err := run([]string{"-tech", "dialup"}, &out, &errOut); err == nil {
+		t.Error("unknown tech accepted")
+	}
+}

@@ -1,11 +1,13 @@
 // Command webbench runs BrowserTime-like page visits over the website
 // corpus from a chosen vantage point and reports onLoad and SpeedIndex
-// distributions (Figure 6).
+// distributions (Figure 6). Visits shard across -workers goroutines,
+// each on its own deterministically seeded testbed.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
@@ -14,11 +16,23 @@ import (
 )
 
 func main() {
-	techName := flag.String("tech", "starlink", "vantage point: starlink | satcom | wired")
-	visits := flag.Int("visits", 60, "number of page visits")
-	seed := flag.Uint64("seed", 1, "simulation seed")
-	verbose := flag.Bool("v", false, "print per-visit rows")
-	flag.Parse()
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+}
+
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("webbench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	techName := fs.String("tech", "starlink", "vantage point: starlink | satcom | wired")
+	visits := fs.Int("visits", 60, "number of page visits")
+	seed := fs.Uint64("seed", 1, "simulation seed")
+	verbose := fs.Bool("v", false, "print per-visit rows")
+	workers := fs.Int("workers", 0, "parallel campaign workers (0 = GOMAXPROCS)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	var tech core.Tech
 	switch *techName {
@@ -29,14 +43,16 @@ func main() {
 	case "wired":
 		tech = core.TechWired
 	default:
-		fmt.Fprintf(os.Stderr, "unknown tech %q\n", *techName)
-		os.Exit(2)
+		return fmt.Errorf("unknown tech %q", *techName)
+	}
+	if *visits < 1 {
+		return fmt.Errorf("visits must be >= 1")
 	}
 
 	cfg := core.DefaultConfig()
 	cfg.Seed = *seed
-	tb := core.NewTestbed(cfg)
-	results := tb.RunWebCampaign(tech, *visits, 2*time.Second)
+	opts := core.Options{Workers: *workers, Seed: *seed}
+	results := core.RunWebCampaignParallel(cfg, tech, *visits, 2*time.Second, opts)
 
 	var onload, si, setup []float64
 	fails := 0
@@ -46,7 +62,7 @@ func main() {
 			continue
 		}
 		if *verbose {
-			fmt.Printf("  visit %3d site-rank=%3d objects=%3d conns=%2d onLoad=%6.2fs SI=%6.2fs\n",
+			fmt.Fprintf(stdout, "  visit %3d site-rank=%3d objects=%3d conns=%2d onLoad=%6.2fs SI=%6.2fs\n",
 				i+1, v.Site.Rank, len(v.Site.Objects), v.Connections, v.OnLoad.Seconds(), v.SpeedIndex.Seconds())
 		}
 		onload = append(onload, v.OnLoad.Seconds())
@@ -56,8 +72,9 @@ func main() {
 		}
 	}
 	o, s, st := stats.Summarize(onload), stats.Summarize(si), stats.Summarize(setup)
-	fmt.Printf("%s: %d visits (%d failed)\n", *techName, len(results), fails)
-	fmt.Printf("  onLoad:     med=%.2fs IQR=[%.2f, %.2f]s\n", o.P50, o.P25, o.P75)
-	fmt.Printf("  SpeedIndex: med=%.2fs IQR=[%.2f, %.2f]s\n", s.P50, s.P25, s.P75)
-	fmt.Printf("  conn setup: mean=%.0fms med=%.0fms (n=%d)\n", st.Mean, st.P50, st.N)
+	fmt.Fprintf(stdout, "%s: %d visits (%d failed)\n", *techName, len(results), fails)
+	fmt.Fprintf(stdout, "  onLoad:     med=%.2fs IQR=[%.2f, %.2f]s\n", o.P50, o.P25, o.P75)
+	fmt.Fprintf(stdout, "  SpeedIndex: med=%.2fs IQR=[%.2f, %.2f]s\n", s.P50, s.P25, s.P75)
+	_, err := fmt.Fprintf(stdout, "  conn setup: mean=%.0fms med=%.0fms (n=%d)\n", st.Mean, st.P50, st.N)
+	return err
 }

@@ -1,0 +1,29 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunSmoke(t *testing.T) {
+	var out, errOut strings.Builder
+	if err := run([]string{"-visits", "2", "-tech", "wired", "-v"}, &out, &errOut); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	got := out.String()
+	for _, want := range []string{"visit   1", "wired: 2 visits", "onLoad:", "SpeedIndex:", "conn setup:"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q in:\n%s", want, got)
+		}
+	}
+}
+
+func TestRunRejectsBadArgs(t *testing.T) {
+	var out, errOut strings.Builder
+	if err := run([]string{"-tech", "dialup"}, &out, &errOut); err == nil {
+		t.Error("unknown tech accepted")
+	}
+	if err := run([]string{"-visits", "0"}, &out, &errOut); err == nil {
+		t.Error("visits 0 accepted")
+	}
+}

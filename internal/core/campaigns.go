@@ -248,6 +248,15 @@ func (t Tech) String() string {
 	}
 }
 
+// SpeedtestConfig resolves the testbed's speedtest client configuration:
+// the Config override when set, the Ookla-like defaults otherwise.
+func (tb *Testbed) SpeedtestConfig() measure.SpeedtestConfig {
+	if tb.Cfg.Speedtest.Connections > 0 {
+		return tb.Cfg.Speedtest
+	}
+	return measure.DefaultSpeedtestConfig()
+}
+
 func (tb *Testbed) vantage(t Tech) *netem.Node {
 	switch t {
 	case TechStarlink:
@@ -264,7 +273,7 @@ func (tb *Testbed) vantage(t Tech) *netem.Node {
 func (tb *Testbed) RunSpeedtestCampaign(t Tech, n int, gap time.Duration) []measure.SpeedtestResult {
 	node := tb.vantage(t)
 	prober := measure.NewProber(node)
-	cfg := measure.DefaultSpeedtestConfig()
+	cfg := tb.SpeedtestConfig()
 	var out []measure.SpeedtestResult
 	var runOne func(i int)
 	runOne = func(i int) {
@@ -285,14 +294,21 @@ func (tb *Testbed) RunSpeedtestCampaign(t Tech, n int, gap time.Duration) []meas
 // RunWebCampaign visits nVisits sites (cycling through the corpus) from
 // the vantage point and returns the successful visit results.
 func (tb *Testbed) RunWebCampaign(t Tech, nVisits int, gap time.Duration) []web.VisitResult {
+	return tb.runWebVisits(t, 0, nVisits, gap)
+}
+
+// runWebVisits performs n visits starting at the global visit offset
+// start, so sharded campaigns walk the same site cycle a sequential run
+// would.
+func (tb *Testbed) runWebVisits(t Tech, start, n int, gap time.Duration) []web.VisitResult {
 	node := tb.vantage(t)
 	var out []web.VisitResult
 	var runOne func(i int)
 	runOne = func(i int) {
-		if i >= nVisits {
+		if i >= n {
 			return
 		}
-		site := &tb.Sites[i%len(tb.Sites)]
+		site := &tb.Sites[(start+i)%len(tb.Sites)]
 		b := &web.Browser{
 			Node:     node,
 			Resolve:  tb.WebResolver(site),
@@ -305,7 +321,7 @@ func (tb *Testbed) RunWebCampaign(t Tech, nVisits int, gap time.Duration) []web.
 		})
 	}
 	runOne(0)
-	tb.Sched.RunFor(time.Duration(nVisits) * (90*time.Second + gap))
+	tb.Sched.RunFor(time.Duration(n) * (90*time.Second + gap))
 	return out
 }
 

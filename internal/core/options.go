@@ -1,0 +1,50 @@
+package core
+
+import "runtime"
+
+// Options is the shared knob set of the parallel campaign runners: every
+// cmd exposes the same worker-count, seed and progress semantics by
+// passing one of these through to the Run*Parallel variants.
+type Options struct {
+	// Workers caps the number of goroutines executing shards. Zero or
+	// negative means GOMAXPROCS. The value never changes results, only
+	// wall-clock time: shard seeds and merge order depend solely on the
+	// shard index.
+	Workers int
+	// Seed is the campaign base seed from which every shard derives its
+	// own (see sim.DeriveSeed). Zero falls back to the Config's Seed so
+	// callers that already thread a seed through Config need not set it
+	// twice.
+	Seed uint64
+	// Progress, when non-nil, is invoked after each shard completes with
+	// the number of finished shards and the total. Calls are serialized;
+	// done is strictly increasing from 1 to total.
+	Progress func(done, total int)
+}
+
+// DefaultOptions returns the options every cmd starts from: all
+// processors, seed taken from the Config.
+func DefaultOptions() Options { return Options{} }
+
+// workerCount resolves Workers, clamped to [1, n] for n shards.
+func (o Options) workerCount(n int) int {
+	w := o.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// baseSeed resolves the campaign seed against a Config.
+func (o Options) baseSeed(cfg Config) uint64 {
+	if o.Seed != 0 {
+		return o.Seed
+	}
+	return cfg.Seed
+}

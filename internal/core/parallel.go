@@ -1,0 +1,259 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"starlinkperf/internal/measure"
+	"starlinkperf/internal/sim"
+	"starlinkperf/internal/stats"
+	"starlinkperf/internal/web"
+)
+
+// This file is the parallel campaign runner: it shards embarrassingly
+// parallel campaign repetitions over a worker pool. Every shard builds its
+// own Testbed from a seed derived per shard index (sim.DeriveSeed), so
+// shards share no state — not even an RNG — and results are written to the
+// shard's own slot and merged in shard order. Both properties together
+// make the output a pure function of (config, seed, shard count):
+// bit-for-bit identical whether one worker runs all shards or GOMAXPROCS
+// workers race through them.
+
+// forEachShard runs body(i) for every i in [0,n) on opts.Workers
+// goroutines and reports per-shard completion through opts.Progress.
+// With one worker the shards run inline on the caller's goroutine.
+func forEachShard(opts Options, n int, body func(shard int)) {
+	if n <= 0 {
+		return
+	}
+	var mu sync.Mutex
+	completed := 0
+	finished := func() {
+		if opts.Progress == nil {
+			return
+		}
+		mu.Lock()
+		defer mu.Unlock()
+		completed++
+		opts.Progress(completed, n)
+	}
+	workers := opts.workerCount(n)
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			body(i)
+			finished()
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				body(i)
+				finished()
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// RunShards executes n independent shards of the named family and returns
+// their results in shard order. Shard i receives the deterministic seed
+// sim.DeriveSeed(base, family, i); the worker count in opts changes only
+// wall-clock time, never the returned slice.
+func RunShards[T any](opts Options, base uint64, family string, n int, run func(shard int, seed uint64) T) []T {
+	out := make([]T, n)
+	forEachShard(opts, n, func(i int) {
+		out[i] = run(i, sim.DeriveSeed(base, family, i))
+	})
+	return out
+}
+
+// shardConfig is cfg reseeded for one shard.
+func shardConfig(cfg Config, seed uint64) Config {
+	cfg.Seed = seed
+	return cfg
+}
+
+// RunLatencyCampaignParallel runs reps independent latency campaigns of
+// dur each and merges them into one LatencyData whose timeline
+// concatenates the repetitions (shard i's samples are offset by i*dur).
+func RunLatencyCampaignParallel(cfg Config, reps int, dur, interval time.Duration, opts Options) *LatencyData {
+	shards := RunShards(opts, opts.baseSeed(cfg), "latency", reps, func(i int, seed uint64) *LatencyData {
+		tb := NewTestbed(shardConfig(cfg, seed))
+		return tb.RunLatencyCampaign(dur, interval)
+	})
+	return MergeLatency(shards, dur)
+}
+
+// MergeLatency concatenates shard campaign results in shard order. Each
+// shard's samples are shifted by shard*window so the merged data reads as
+// one long campaign; counters are summed.
+func MergeLatency(shards []*LatencyData, window time.Duration) *LatencyData {
+	out := &LatencyData{
+		PerAnchor: make(map[string]*stats.Series),
+		Regions:   make(map[string]string),
+	}
+	for i, sh := range shards {
+		if sh == nil {
+			continue
+		}
+		out.Sent += sh.Sent
+		out.Lost += sh.Lost
+		offset := time.Duration(i) * window
+		for name, ser := range sh.PerAnchor {
+			out.Regions[name] = sh.Regions[name]
+			dst := out.PerAnchor[name]
+			if dst == nil {
+				dst = &stats.Series{}
+				out.PerAnchor[name] = dst
+			}
+			for _, smp := range ser.Samples() {
+				dst.Add(smp.At+offset, smp.Value)
+			}
+		}
+	}
+	return out
+}
+
+// Shard sizes of the repetition-based campaigns: small enough that the
+// pool load-balances, large enough to amortize building a Testbed per
+// shard. They are constants (never worker-derived) so the shard plan — and
+// therefore the output — is independent of the worker count.
+const (
+	speedtestShardTests = 2
+	webShardVisits      = 10
+	h3ShardTransfers    = 1
+	msgShardSessions    = 2
+)
+
+// shardCounts splits n repetitions into fixed-size shards and returns the
+// per-shard counts.
+func shardCounts(n, per int) []int {
+	if n <= 0 {
+		return nil
+	}
+	counts := make([]int, 0, (n+per-1)/per)
+	for n > 0 {
+		c := per
+		if n < c {
+			c = n
+		}
+		counts = append(counts, c)
+		n -= c
+	}
+	return counts
+}
+
+// RunSpeedtestCampaignParallel shards n speedtests from the vantage point
+// over the worker pool and returns the results in shard order.
+func RunSpeedtestCampaignParallel(cfg Config, t Tech, n int, gap time.Duration, opts Options) []measure.SpeedtestResult {
+	counts := shardCounts(n, speedtestShardTests)
+	shards := RunShards(opts, opts.baseSeed(cfg), "speedtest/"+t.String(), len(counts), func(i int, seed uint64) []measure.SpeedtestResult {
+		tb := NewTestbed(shardConfig(cfg, seed))
+		return tb.RunSpeedtestCampaign(t, counts[i], gap)
+	})
+	return flatten(shards)
+}
+
+// RunWebCampaignParallel shards nVisits page visits from the vantage point
+// over the worker pool. Every shard walks the same global site cycle the
+// sequential campaign would (shard i starts at visit offset i*shardSize),
+// so the visited-site sequence matches RunWebCampaign.
+func RunWebCampaignParallel(cfg Config, t Tech, nVisits int, gap time.Duration, opts Options) []web.VisitResult {
+	counts := shardCounts(nVisits, webShardVisits)
+	shards := RunShards(opts, opts.baseSeed(cfg), "web/"+t.String(), len(counts), func(i int, seed uint64) []web.VisitResult {
+		tb := NewTestbed(shardConfig(cfg, seed))
+		return tb.runWebVisits(t, i*webShardVisits, counts[i], gap)
+	})
+	return flatten(shards)
+}
+
+// RunH3CampaignParallel shards n bulk transfers over the worker pool and
+// merges the per-shard campaigns in shard order.
+func RunH3CampaignParallel(cfg Config, n, size int, download bool, gap time.Duration, opts Options) *H3Campaign {
+	counts := shardCounts(n, h3ShardTransfers)
+	shards := RunShards(opts, opts.baseSeed(cfg), "h3/"+dirName(download), len(counts), func(i int, seed uint64) *H3Campaign {
+		tb := NewTestbed(shardConfig(cfg, seed))
+		return tb.RunH3Campaign(counts[i], size, download, gap)
+	})
+	out := &H3Campaign{Download: download}
+	for _, sh := range shards {
+		out.Records = append(out.Records, sh.Records...)
+	}
+	return out
+}
+
+// RunMessagesCampaignParallel shards n message sessions over the worker
+// pool and merges the per-shard campaigns in shard order.
+func RunMessagesCampaignParallel(cfg Config, n int, sessionDur time.Duration, download bool, opts Options) *MsgCampaign {
+	counts := shardCounts(n, msgShardSessions)
+	shards := RunShards(opts, opts.baseSeed(cfg), "messages/"+dirName(download), len(counts), func(i int, seed uint64) *MsgCampaign {
+		tb := NewTestbed(shardConfig(cfg, seed))
+		return tb.RunMessagesCampaign(counts[i], sessionDur, download)
+	})
+	out := &MsgCampaign{Download: download}
+	for _, sh := range shards {
+		out.RTTsMs = append(out.RTTsMs, sh.RTTsMs...)
+		out.sent += sh.sent
+		out.lost += sh.lost
+		out.bursts = append(out.bursts, sh.bursts...)
+		out.durs = append(out.durs, sh.durs...)
+	}
+	return out
+}
+
+func dirName(download bool) string {
+	if download {
+		return "down"
+	}
+	return "up"
+}
+
+func flatten[T any](shards [][]T) []T {
+	var out []T
+	for _, sh := range shards {
+		out = append(out, sh...)
+	}
+	return out
+}
+
+// SweepJob is one whole-campaign unit of a sweep: a named configuration
+// plus the campaign body to run against a Testbed built from it. The body
+// runs on its own testbed (reseeded per job), so jobs may execute
+// concurrently.
+type SweepJob struct {
+	Name string
+	Cfg  Config
+	Run  func(tb *Testbed) any
+}
+
+// SweepResult pairs a job name with what its Run returned.
+type SweepResult struct {
+	Name  string
+	Seed  uint64
+	Value any
+}
+
+// RunSweep executes whole-campaign jobs (different vantage points, config
+// ablations, audit passes) across the worker pool and returns their
+// results in job order. Each job's testbed is seeded from the job's own
+// name and index, so adding a job never perturbs the others.
+func RunSweep(jobs []SweepJob, opts Options) []SweepResult {
+	out := make([]SweepResult, len(jobs))
+	forEachShard(opts, len(jobs), func(i int) {
+		job := jobs[i]
+		seed := sim.DeriveSeed(opts.baseSeed(job.Cfg), "sweep/"+job.Name, i)
+		tb := NewTestbed(shardConfig(job.Cfg, seed))
+		out[i] = SweepResult{Name: job.Name, Seed: seed, Value: job.Run(tb)}
+	})
+	return out
+}

@@ -1,0 +1,240 @@
+package core
+
+import (
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"starlinkperf/internal/measure"
+)
+
+// The tests in this file pin down the two contracts of the parallel
+// runner: (1) the same seed always reproduces the same campaign
+// bit-for-bit, and (2) the worker count never changes results, only
+// wall-clock time. They run with explicit Workers > 1 so `go test -race`
+// exercises the concurrent path even on a single-CPU machine.
+
+const raceWorkers = 4
+
+// quickConfig returns DefaultConfig with a shortened speedtest so the
+// invariance tests stay fast under the race detector.
+func quickConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Speedtest = measure.DefaultSpeedtestConfig()
+	cfg.Speedtest.Warmup = 500 * time.Millisecond
+	cfg.Speedtest.Window = 2 * time.Second
+	return cfg
+}
+
+func TestRunShardsOrderSeedsProgress(t *testing.T) {
+	opts := Options{Workers: raceWorkers, Seed: 7}
+	var dones []int
+	opts.Progress = func(done, total int) {
+		if total != 6 {
+			t.Errorf("progress total = %d, want 6", total)
+		}
+		dones = append(dones, done)
+	}
+	type shardInfo struct {
+		Shard int
+		Seed  uint64
+	}
+	got := RunShards(opts, 7, "fam", 6, func(shard int, seed uint64) shardInfo {
+		return shardInfo{Shard: shard, Seed: seed}
+	})
+	if len(got) != 6 {
+		t.Fatalf("len = %d", len(got))
+	}
+	seen := map[uint64]bool{}
+	for i, g := range got {
+		if g.Shard != i {
+			t.Errorf("slot %d holds shard %d: results must merge in shard order", i, g.Shard)
+		}
+		if seen[g.Seed] {
+			t.Errorf("duplicate shard seed %#x", g.Seed)
+		}
+		seen[g.Seed] = true
+	}
+	// Progress is serialized and strictly increasing 1..total.
+	for i, d := range dones {
+		if d != i+1 {
+			t.Fatalf("progress sequence %v, want 1..6", dones)
+		}
+	}
+	// Seeds are a pure function of (base, family, index): a second run
+	// yields the same slice.
+	again := RunShards(Options{Workers: 1, Seed: 7}, 7, "fam", 6, func(shard int, seed uint64) shardInfo {
+		return shardInfo{Shard: shard, Seed: seed}
+	})
+	if !reflect.DeepEqual(got, again) {
+		t.Error("shard seeds differ between runs with the same base seed")
+	}
+}
+
+// TestGoldenDeterminismSameSeed is the golden determinism check: two
+// testbeds built from the same DefaultConfig produce byte-identical
+// rendered figure output.
+func TestGoldenDeterminismSameSeed(t *testing.T) {
+	render := func() string {
+		tb := NewTestbed(quickConfig())
+		lat := tb.RunLatencyCampaign(time.Hour, 5*time.Minute)
+		st := tb.RunSpeedtestCampaign(TechStarlink, 1, 10*time.Minute)
+		var out strings.Builder
+		RenderFigure1(&out, Figure1(lat, tb.Anchors))
+		RenderFigure2(&out, Figure2(lat))
+		for _, r := range st {
+			fmt.Fprintf(&out, "%s %v %v %v\n", r.Server, r.DownloadMbps, r.UploadMbps, r.PingRTT)
+		}
+		return out.String()
+	}
+	a, b := render(), render()
+	if a != b {
+		t.Errorf("same seed, different output:\n--- first\n%s\n--- second\n%s", a, b)
+	}
+}
+
+func TestLatencyParallelWorkerInvariance(t *testing.T) {
+	cfg := DefaultConfig()
+	run := func(workers int) *LatencyData {
+		return RunLatencyCampaignParallel(cfg, 3, 30*time.Minute, 5*time.Minute, Options{Workers: workers})
+	}
+	seq := run(1)
+	par := run(raceWorkers)
+	if seq.Sent == 0 || seq.Lost < 0 {
+		t.Fatalf("empty campaign: sent=%d", seq.Sent)
+	}
+	if seq.Sent != par.Sent || seq.Lost != par.Lost {
+		t.Errorf("counters differ: 1 worker %d/%d vs %d workers %d/%d",
+			seq.Sent, seq.Lost, raceWorkers, par.Sent, par.Lost)
+	}
+	if !reflect.DeepEqual(seq.Regions, par.Regions) {
+		t.Error("regions differ across worker counts")
+	}
+	for name, ser := range seq.PerAnchor {
+		pser := par.PerAnchor[name]
+		if pser == nil {
+			t.Fatalf("anchor %s missing from parallel result", name)
+		}
+		if !reflect.DeepEqual(ser.Samples(), pser.Samples()) {
+			t.Errorf("anchor %s: sample series differ between 1 and %d workers", name, raceWorkers)
+		}
+	}
+	// Rendered figures must match byte for byte.
+	renderAll := func(d *LatencyData) string {
+		var out strings.Builder
+		tb := NewTestbed(cfg) // anchor order only
+		RenderFigure1(&out, Figure1(d, tb.Anchors))
+		RenderFigure2(&out, Figure2(d))
+		return out.String()
+	}
+	if a, b := renderAll(seq), renderAll(par); a != b {
+		t.Errorf("rendered output differs:\n--- 1 worker\n%s\n--- %d workers\n%s", a, raceWorkers, b)
+	}
+}
+
+func TestSpeedtestParallelWorkerInvariance(t *testing.T) {
+	cfg := quickConfig()
+	seq := RunSpeedtestCampaignParallel(cfg, TechStarlink, 3, 10*time.Minute, Options{Workers: 1})
+	par := RunSpeedtestCampaignParallel(cfg, TechStarlink, 3, 10*time.Minute, Options{Workers: raceWorkers})
+	if len(seq) != 3 || len(par) != 3 {
+		t.Fatalf("lengths: seq=%d par=%d, want 3", len(seq), len(par))
+	}
+	if !reflect.DeepEqual(seq, par) {
+		t.Errorf("speedtest results differ:\n1 worker: %+v\n%d workers: %+v", seq, raceWorkers, par)
+	}
+}
+
+func TestWebParallelWorkerInvariance(t *testing.T) {
+	cfg := DefaultConfig()
+	seq := RunWebCampaignParallel(cfg, TechWired, 12, time.Second, Options{Workers: 1})
+	par := RunWebCampaignParallel(cfg, TechWired, 12, time.Second, Options{Workers: raceWorkers})
+	if len(seq) == 0 {
+		t.Fatal("no visits completed")
+	}
+	if !reflect.DeepEqual(seq, par) {
+		t.Errorf("web visit results differ between 1 and %d workers", raceWorkers)
+	}
+	// The sharded campaign must walk the sequential site cycle: visit i
+	// lands on site rank i%len(Sites).
+	tb := NewTestbed(cfg)
+	for i, v := range seq {
+		if v.Site.Rank != tb.Sites[i%len(tb.Sites)].Rank {
+			t.Errorf("visit %d hit site rank %d, want the sequential cycle's %d",
+				i, v.Site.Rank, tb.Sites[i%len(tb.Sites)].Rank)
+		}
+	}
+}
+
+func TestH3ParallelWorkerInvariance(t *testing.T) {
+	cfg := DefaultConfig()
+	run := func(workers int) *H3Campaign {
+		return RunH3CampaignParallel(cfg, 2, 2<<20, true, 5*time.Second, Options{Workers: workers})
+	}
+	seq := run(1)
+	par := run(raceWorkers)
+	if len(seq.Records) != 2 || len(par.Records) != 2 {
+		t.Fatalf("records: seq=%d par=%d, want 2", len(seq.Records), len(par.Records))
+	}
+	if !reflect.DeepEqual(seq.Goodputs(), par.Goodputs()) {
+		t.Errorf("goodputs differ: %v vs %v", seq.Goodputs(), par.Goodputs())
+	}
+	if !reflect.DeepEqual(seq.RTTSamplesMs(), par.RTTSamplesMs()) {
+		t.Error("RTT sample series differ between worker counts")
+	}
+	if seq.LossRatio() != par.LossRatio() {
+		t.Errorf("loss ratios differ: %v vs %v", seq.LossRatio(), par.LossRatio())
+	}
+	if !reflect.DeepEqual(seq.BurstLengths(), par.BurstLengths()) {
+		t.Error("burst lengths differ between worker counts")
+	}
+}
+
+func TestMessagesParallelWorkerInvariance(t *testing.T) {
+	cfg := DefaultConfig()
+	run := func(workers int) *MsgCampaign {
+		return RunMessagesCampaignParallel(cfg, 3, 30*time.Second, false, Options{Workers: workers})
+	}
+	seq := run(1)
+	par := run(raceWorkers)
+	if len(seq.RTTsMs) == 0 {
+		t.Fatal("no message RTT samples")
+	}
+	if !reflect.DeepEqual(seq.RTTsMs, par.RTTsMs) {
+		t.Error("message RTTs differ between worker counts")
+	}
+	if seq.LossRatio() != par.LossRatio() {
+		t.Error("message loss ratios differ between worker counts")
+	}
+}
+
+func TestSweepWorkerInvariance(t *testing.T) {
+	jobs := func() []SweepJob {
+		return []SweepJob{
+			{Name: "latency", Cfg: DefaultConfig(), Run: func(tb *Testbed) any {
+				lat := tb.RunLatencyCampaign(30*time.Minute, 5*time.Minute)
+				return lat.Sent
+			}},
+			{Name: "middlebox-starlink", Cfg: DefaultConfig(), Run: func(tb *Testbed) any {
+				a := tb.RunMiddleboxAudit(TechStarlink)
+				var out strings.Builder
+				RenderMiddleboxAudit(&out, "starlink", a)
+				return out.String()
+			}},
+			{Name: "speedtest", Cfg: quickConfig(), Run: func(tb *Testbed) any {
+				return tb.RunSpeedtestCampaign(TechStarlink, 1, time.Minute)
+			}},
+		}
+	}
+	seq := RunSweep(jobs(), Options{Workers: 1})
+	par := RunSweep(jobs(), Options{Workers: raceWorkers})
+	if !reflect.DeepEqual(seq, par) {
+		t.Errorf("sweep results differ:\n1 worker: %+v\n%d workers: %+v", seq, raceWorkers, par)
+	}
+	for i, j := range jobs() {
+		if seq[i].Name != j.Name {
+			t.Errorf("result %d is %q, want job order preserved (%q)", i, seq[i].Name, j.Name)
+		}
+	}
+}

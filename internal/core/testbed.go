@@ -65,6 +65,10 @@ type Config struct {
 	SatCom   SatComParams
 	// WebSites is the corpus size (paper: top-120 for Belgium).
 	WebSites int
+	// Speedtest overrides the Ookla-like client configuration used by
+	// the speedtest campaigns. The zero value (Connections == 0) means
+	// measure.DefaultSpeedtestConfig().
+	Speedtest measure.SpeedtestConfig
 	// InitialShellFraction populates only part of the Gen1 shell at
 	// campaign start; FleetGrowthAt completes it mid-campaign (the
 	// paper's Feb-11 step). Zero values disable the scenario.

@@ -286,15 +286,8 @@ func MessagesUpload(node *netem.Node, srv *H3Server, addr netem.Addr, port uint1
 	})
 }
 
-// ephemeralUDP hands out per-node client UDP ports.
-var ephemeralPorts = map[*netem.Node]uint16{}
-
+// ephemeralUDP hands out per-node client UDP ports. The counter lives on
+// the node itself so independent simulations never share an allocator.
 func ephemeralUDP(node *netem.Node) uint16 {
-	p := ephemeralPorts[node]
-	if p < 52000 {
-		p = 52000
-	}
-	p++
-	ephemeralPorts[node] = p
-	return p
+	return node.EphemeralPort(netem.ProtoUDP, 52000)
 }

@@ -1,0 +1,118 @@
+package netem
+
+import (
+	"math"
+	"testing"
+
+	"starlinkperf/internal/sim"
+)
+
+// Property-style checks of the Gilbert-Elliott burst-loss model: the
+// long-run loss ratio must converge to the configured (analytic) rate and
+// burst lengths must look geometric with the configured mean, for every
+// calibration the campaigns use.
+
+// geModel builds the campaign-style parameterization: target loss
+// fraction p with mean burst length meanBurst (see core.mediumLoss).
+func geModel(pctLoss, meanBurst float64, rng *sim.RNG) *GilbertElliott {
+	p := pctLoss / 100
+	pbg := 1 / meanBurst
+	return &GilbertElliott{
+		PGB:      pbg * p / (1 - p),
+		PBG:      pbg,
+		LossGood: 0,
+		LossBad:  1,
+		Rng:      rng,
+	}
+}
+
+func TestGilbertElliottLossRatioConverges(t *testing.T) {
+	cases := []struct {
+		pct, burst float64
+	}{
+		{0.05, 2},
+		{0.2, 2},
+		{1.0, 4},
+		{2.5, 8},
+	}
+	const n = 2_000_000
+	for _, c := range cases {
+		g := geModel(c.pct, c.burst, sim.NewRNG(1).Stream("loss-prop"))
+		want := g.StationaryLossRate()
+		lost := 0
+		for i := 0; i < n; i++ {
+			if g.Lost(0) {
+				lost++
+			}
+		}
+		got := float64(lost) / n
+		if math.Abs(got-want)/want > 0.10 {
+			t.Errorf("pct=%v burst=%v: observed loss %.5f, analytic %.5f (>10%% off)",
+				c.pct, c.burst, got, want)
+		}
+		// The analytic rate itself must match the requested fraction.
+		if req := c.pct / 100; math.Abs(want-req)/req > 1e-9 {
+			t.Errorf("pct=%v: stationary rate %.6g != requested %.6g", c.pct, want, req)
+		}
+	}
+}
+
+func TestGilbertElliottBurstLengthsGeometric(t *testing.T) {
+	for _, c := range []struct {
+		pct, burst float64
+	}{
+		{0.5, 2},
+		{1.0, 4},
+	} {
+		g := geModel(c.pct, c.burst, sim.NewRNG(7).Stream("burst-prop"))
+		const n = 4_000_000
+		var bursts []int
+		cur := 0
+		for i := 0; i < n; i++ {
+			if g.Lost(0) {
+				cur++
+			} else if cur > 0 {
+				bursts = append(bursts, cur)
+				cur = 0
+			}
+		}
+		if len(bursts) < 1000 {
+			t.Fatalf("pct=%v: only %d bursts observed", c.pct, len(bursts))
+		}
+		total, ones := 0, 0
+		for _, b := range bursts {
+			total += b
+			if b == 1 {
+				ones++
+			}
+		}
+		mean := float64(total) / float64(len(bursts))
+		if math.Abs(mean-c.burst)/c.burst > 0.10 {
+			t.Errorf("pct=%v: mean burst %.3f, want ~%.1f", c.pct, mean, c.burst)
+		}
+		// Geometric(1/mean): P(L=1) = PBG.
+		p1 := float64(ones) / float64(len(bursts))
+		if want := 1 / c.burst; math.Abs(p1-want)/want > 0.10 {
+			t.Errorf("pct=%v: P(burst=1)=%.3f, want ~%.3f (geometric)", c.pct, p1, want)
+		}
+	}
+}
+
+func TestCompositeLossAdvancesAllModels(t *testing.T) {
+	// CompositeLoss must consult every member even when an earlier one
+	// already lost the packet, so stateful models advance identically
+	// whether or not they are composed. A Gilbert-Elliott behind an
+	// always-lossy member must therefore emit the same Lost sequence as
+	// an identically seeded solo clone.
+	solo := geModel(1.0, 4, sim.NewRNG(3).Stream("ge"))
+	ge := geModel(1.0, 4, sim.NewRNG(3).Stream("ge"))
+	comp := CompositeLoss{&BernoulliLoss{P: 1.0, Rng: sim.NewRNG(11).Stream("always")}, ge}
+	for i := 0; i < 200000; i++ {
+		if !comp.Lost(0) {
+			t.Fatal("composite with an always-lossy member must always lose")
+		}
+		if ge.bad != solo.Lost(0) {
+			t.Fatalf("step %d: composed GE state diverged from solo clone", i)
+		}
+	}
+}

@@ -47,6 +47,12 @@ type Node struct {
 	devices  []Device
 	handlers map[protoPort]Handler
 
+	// ephemeral tracks the last client source port handed out per
+	// protocol. It lives on the node (not in a package-level map) so
+	// independent simulations running on different goroutines never
+	// share an allocator.
+	ephemeral map[Proto]uint16
+
 	// EchoResponder makes the node answer ICMP echo requests, like the
 	// RIPE anchors and speedtest servers do.
 	EchoResponder bool
@@ -74,6 +80,22 @@ func (n *Node) Network() *Network { return n.net }
 // Scheduler returns the simulation scheduler, for transports that need
 // timers.
 func (n *Node) Scheduler() *sim.Scheduler { return n.net.sched }
+
+// EphemeralPort allocates the next client source port for proto. Ports
+// count up from floor+1; each call returns a fresh port. Allocation is
+// per-node and deterministic in call order.
+func (n *Node) EphemeralPort(proto Proto, floor uint16) uint16 {
+	if n.ephemeral == nil {
+		n.ephemeral = make(map[Proto]uint16)
+	}
+	p := n.ephemeral[proto]
+	if p < floor {
+		p = floor
+	}
+	p++
+	n.ephemeral[proto] = p
+	return p
+}
 
 // AddRoute installs an exact-destination route.
 func (n *Node) AddRoute(dst Addr, via *Link) { n.routes[dst] = via }

@@ -58,18 +58,10 @@ func (l *Listener) receive(pkt *netem.Packet) {
 	c.HandleSegment(pkt)
 }
 
-// dialPorts hands out ephemeral ports per node.
-var dialPorts = map[*netem.Node]uint16{}
-
 // Dial opens a client connection from node to remote:port and starts the
 // handshake. Each call binds a fresh ephemeral source port.
 func Dial(node *netem.Node, remote netem.Addr, remotePort uint16, cfg Config) *Conn {
-	sport := dialPorts[node]
-	if sport < 32768 {
-		sport = 32768
-	}
-	sport++
-	dialPorts[node] = sport
+	sport := node.EphemeralPort(netem.ProtoTCP, 32768)
 
 	c := NewConn(ConnParams{
 		Sched:      node.Scheduler(),
