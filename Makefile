@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check fmt vet build test race bench
+.PHONY: check fmt vet build test race bench bench-json
 
 check: ## gofmt + vet + build + race-enabled tests (what CI runs)
 	./ci.sh
@@ -22,3 +22,10 @@ race:
 
 bench:
 	$(GO) test -bench . -benchtime 1x -v .
+
+# One machine-readable perf datapoint per day: campaign headline metrics
+# plus the geometry fast-path microbenchmarks. Commit the file to extend
+# the perf trajectory.
+BENCH_JSON ?= BENCH_$(shell date +%Y%m%d).json
+bench-json:
+	$(GO) run ./cmd/starlink-bench -quick -bench.json $(BENCH_JSON)

@@ -455,6 +455,7 @@ func BenchmarkAblationRwnd(b *testing.B) {
 // with 4+ workers, while on a single CPU it only measures pool overhead.
 func benchLatencyReps(b *testing.B, workers int) *core.LatencyData {
 	var lat *core.LatencyData
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		lat = core.RunLatencyCampaignParallel(core.DefaultConfig(), 8, 12*time.Hour, 5*time.Minute,
 			core.Options{Workers: workers, Seed: 1})

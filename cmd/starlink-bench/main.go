@@ -10,16 +10,21 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
 	"starlinkperf/internal/core"
+	"starlinkperf/internal/geo"
+	"starlinkperf/internal/leo"
 	"starlinkperf/internal/measure"
+	"starlinkperf/internal/sim"
 	"starlinkperf/internal/web"
 	"starlinkperf/internal/wehe"
 )
@@ -77,6 +82,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 	seed := fs.Uint64("seed", 1, "simulation seed")
 	workers := fs.Int("workers", 0, "parallel campaign workers (0 = GOMAXPROCS)")
 	quick := fs.Bool("quick", false, "tiny smoke-sized campaigns for CI (ignores -scale)")
+	benchJSON := fs.String("bench.json", "", "write headline metrics as JSON to this file")
+	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile of the campaigns to this file")
+	memProfile := fs.String("memprofile", "", "write a post-run heap profile to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -84,6 +92,21 @@ func run(args []string, stdout, stderr io.Writer) error {
 		return fmt.Errorf("scale must be >= 1")
 	}
 	sz := sizesFor(*scale, *quick)
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
 
 	cfg := core.DefaultConfig()
 	cfg.Seed = *seed
@@ -186,12 +209,18 @@ func run(args []string, stdout, stderr io.Writer) error {
 		nw = runtime.GOMAXPROCS(0)
 	}
 	fmt.Fprintf(stderr, "running %d campaigns on %d workers...\n", len(jobs), nw)
+	started := time.Now()
 	core.RunSweep(jobs, opts)
+	wall := time.Since(started)
+
+	fig1 := core.Figure1(lat, latAnchors)
+	t2 := core.MakeTable2(h3d, h3u, md, mu)
+	fig5 := core.MakeFigure5(sl, sc, h3d, h3u)
 
 	var out strings.Builder
 	core.RenderTable1(&out, sz.latDays, sz.latDays, sz.latDays, sz.latDays, len(latAnchors), latSites)
 	out.WriteString("\n")
-	core.RenderFigure1(&out, core.Figure1(lat, latAnchors))
+	core.RenderFigure1(&out, fig1)
 	out.WriteString("\n")
 	bins := core.Figure2(lat)
 	step := max(1, len(bins)/24)
@@ -204,7 +233,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 
 	core.RenderFigure3(&out, core.MakeFigure3(h3d, h3u))
 	out.WriteString("\n")
-	core.RenderTable2(&out, core.MakeTable2(h3d, h3u, md, mu))
+	core.RenderTable2(&out, t2)
 	out.WriteString("\n")
 	core.RenderFigure4(&out, core.MakeFigure4("H3 transfers", h3d.BurstLengths(), h3u.BurstLengths()))
 	core.RenderFigure4(&out, core.MakeFigure4("messaging transfers", md.BurstLengths(), mu.BurstLengths()))
@@ -212,7 +241,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	core.LossDurations(&out, "message downloads", md.EventDurations())
 	out.WriteString("\n")
 
-	core.RenderFigure5(&out, core.MakeFigure5(sl, sc, h3d, h3u))
+	core.RenderFigure5(&out, fig5)
 	out.WriteString("\n")
 
 	visits := map[string][]web.VisitResult{"starlink": webSL, "satcom": webSC, "wired": webWD}
@@ -226,6 +255,175 @@ func run(args []string, stdout, stderr io.Writer) error {
 
 	fmt.Fprintf(&out, "\nWired-baseline H3 downloads: %d packets sent, %d lost (paper: 10 of 5.8M)\n", baseSent, baseLost)
 
-	_, err := io.WriteString(stdout, out.String())
-	return err
+	if _, err := io.WriteString(stdout, out.String()); err != nil {
+		return err
+	}
+
+	if *benchJSON != "" {
+		rep := makeBenchReport(*scale, *quick, nw, *seed, wall, fig1, t2, fig5)
+		blob, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return fmt.Errorf("bench.json: %w", err)
+		}
+		if err := os.WriteFile(*benchJSON, append(blob, '\n'), 0o644); err != nil {
+			return fmt.Errorf("bench.json: %w", err)
+		}
+		fmt.Fprintf(stderr, "wrote %s\n", *benchJSON)
+	}
+
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			return fmt.Errorf("memprofile: %w", err)
+		}
+		runtime.GC() // materialize final live-set statistics
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			f.Close()
+			return fmt.Errorf("memprofile: %w", err)
+		}
+		if err := f.Close(); err != nil {
+			return fmt.Errorf("memprofile: %w", err)
+		}
+	}
+	return nil
+}
+
+// benchReport is the machine-readable datapoint one bench run appends to
+// the repo's perf trajectory (BENCH_<date>.json). Metrics is a flat
+// name → value map so new headline numbers can be added without a schema
+// bump; json.Marshal emits map keys sorted, keeping diffs stable.
+type benchReport struct {
+	Schema      string             `json:"schema"`
+	Date        string             `json:"date"`
+	GoVersion   string             `json:"go_version"`
+	Scale       int                `json:"scale"`
+	Quick       bool               `json:"quick"`
+	Workers     int                `json:"workers"`
+	Seed        uint64             `json:"seed"`
+	WallSeconds float64            `json:"wall_seconds"`
+	Metrics     map[string]float64 `json:"metrics"`
+	Geometry    geometryReport     `json:"geometry"`
+}
+
+// geometryReport times the serving-satellite hot loop both ways: the
+// ECEF/pruned/snapshot fast path versus the naive full scan kept in-tree
+// as the reference. Tracking both keeps the speedup honest across PRs.
+type geometryReport struct {
+	FastEpochs        int     `json:"fast_epochs"`
+	NaiveEpochs       int     `json:"naive_epochs"`
+	FastNsPerEpoch    float64 `json:"fast_ns_per_epoch"`
+	NaiveNsPerEpoch   float64 `json:"naive_ns_per_epoch"`
+	AssignmentSpeedup float64 `json:"assignment_speedup"`
+	DelayNsPerCall    float64 `json:"delay_ns_per_call"`
+	ISLPathNsPerCall  float64 `json:"isl_path_ns_per_call"`
+	ISLPathInstants   int     `json:"isl_path_instants"`
+}
+
+func makeBenchReport(scale int, quick bool, workers int, seed uint64, wall time.Duration, fig1 []core.Figure1Row, t2 core.Table2, fig5 core.Figure5) benchReport {
+	m := map[string]float64{
+		"loss_h3_down_pct":  100 * t2.H3Down,
+		"loss_h3_up_pct":    100 * t2.H3Up,
+		"loss_msg_down_pct": 100 * t2.MsgDown,
+		"loss_msg_up_pct":   100 * t2.MsgUp,
+
+		"speedtest_starlink_down_p50_mbps": fig5.StarlinkDown.P50,
+		"speedtest_starlink_up_p50_mbps":   fig5.StarlinkUp.P50,
+		"speedtest_satcom_down_p50_mbps":   fig5.SatComDown.P50,
+		"speedtest_satcom_up_p50_mbps":     fig5.SatComUp.P50,
+		"h3_starlink_down_p50_mbps":        fig5.H3Down.P50,
+		"h3_starlink_up_p50_mbps":          fig5.H3Up.P50,
+	}
+	samples := 0
+	for _, row := range fig1 {
+		key := "latency_" + metricKey(row.Anchor)
+		m[key+"_p50_ms"] = row.Summary.P50
+		m[key+"_mean_ms"] = row.Summary.Mean
+		samples += row.Summary.N
+	}
+	m["latency_samples"] = float64(samples)
+
+	return benchReport{
+		Schema:      "starlink-bench/v1",
+		Date:        time.Now().UTC().Format(time.RFC3339),
+		GoVersion:   runtime.Version(),
+		Scale:       scale,
+		Quick:       quick,
+		Workers:     workers,
+		Seed:        seed,
+		WallSeconds: wall.Seconds(),
+		Metrics:     m,
+		Geometry:    geometryMicrobench(quick),
+	}
+}
+
+// metricKey lowercases an anchor name into a JSON-metric-friendly slug.
+func metricKey(name string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9':
+			return r
+		case r >= 'A' && r <= 'Z':
+			return r + ('a' - 'A')
+		default:
+			return '_'
+		}
+	}, name)
+}
+
+// geometryMicrobench measures assignment, delay and ISL-path costs on a
+// fresh Gen1 shell from the paper's mid-latitude vantage. Every iteration
+// uses a distinct epoch/quantum, so memos and the snapshot ring cannot
+// short-circuit the measured work (matching BenchmarkAssignmentEpoch et
+// al. in internal/leo).
+func geometryMicrobench(quick bool) geometryReport {
+	pos := geo.LatLon{LatDeg: 50.67, LonDeg: 4.61}
+	gws := []leo.Gateway{
+		{Name: "ams-gw", Pos: geo.LatLon{LatDeg: 52.31, LonDeg: 4.76}, PoP: "AMS"},
+		{Name: "fra-gw", Pos: geo.LatLon{LatDeg: 50.03, LonDeg: 8.57}, PoP: "FRA"},
+	}
+	con := leo.NewConstellation(leo.NewShell(leo.StarlinkGen1()))
+	term := leo.NewTerminal(leo.DefaultTerminalConfig(pos), con, gws)
+	epoch := int64(15 * time.Second)
+
+	fastN, naiveN, delayN, islN := 5000, 300, 100000, 50
+	if quick {
+		fastN, naiveN, delayN, islN = 1000, 60, 20000, 10
+	}
+
+	start := time.Now()
+	for i := 0; i < fastN; i++ {
+		term.AssignmentAt(sim.Time(int64(i) * epoch))
+	}
+	fastNs := float64(time.Since(start).Nanoseconds()) / float64(fastN)
+
+	start = time.Now()
+	for i := 0; i < naiveN; i++ {
+		term.ReferenceAssignmentAt(sim.Time(int64(i) * epoch))
+	}
+	naiveNs := float64(time.Since(start).Nanoseconds()) / float64(naiveN)
+
+	start = time.Now()
+	for i := 0; i < delayN; i++ {
+		term.DelayAt(sim.Time(int64(i) * int64(10*time.Millisecond)))
+	}
+	delayNs := float64(time.Since(start).Nanoseconds()) / float64(delayN)
+
+	router := leo.NewISLRouter(con, 0)
+	singapore := geo.LatLon{LatDeg: 1.35, LonDeg: 103.82}
+	start = time.Now()
+	for i := 0; i < islN; i++ {
+		router.PathDelay(sim.Time(int64(i)*int64(time.Minute)), pos, singapore, 25)
+	}
+	islNs := float64(time.Since(start).Nanoseconds()) / float64(islN)
+
+	return geometryReport{
+		FastEpochs:        fastN,
+		NaiveEpochs:       naiveN,
+		FastNsPerEpoch:    fastNs,
+		NaiveNsPerEpoch:   naiveNs,
+		AssignmentSpeedup: naiveNs / fastNs,
+		DelayNsPerCall:    delayNs,
+		ISLPathNsPerCall:  islNs,
+		ISLPathInstants:   islN,
+	}
 }

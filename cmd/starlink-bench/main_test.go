@@ -1,6 +1,9 @@
 package main
 
 import (
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -9,9 +12,56 @@ func TestRunQuickSmoke(t *testing.T) {
 	if testing.Short() {
 		t.Skip("quick bench run still takes ~10s")
 	}
+	dir := t.TempDir()
+	jsonPath := filepath.Join(dir, "bench.json")
+	cpuPath := filepath.Join(dir, "cpu.pprof")
+	memPath := filepath.Join(dir, "mem.pprof")
 	var out, errOut strings.Builder
-	if err := run([]string{"-quick", "-workers", "2"}, &out, &errOut); err != nil {
+	args := []string{"-quick", "-workers", "2",
+		"-bench.json", jsonPath, "-cpuprofile", cpuPath, "-memprofile", memPath}
+	if err := run(args, &out, &errOut); err != nil {
 		t.Fatalf("run: %v\nstderr:\n%s", err, errOut.String())
+	}
+
+	blob, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatalf("bench.json not written: %v", err)
+	}
+	var rep benchReport
+	if err := json.Unmarshal(blob, &rep); err != nil {
+		t.Fatalf("bench.json not parseable: %v", err)
+	}
+	if rep.Schema != "starlink-bench/v1" {
+		t.Errorf("schema = %q", rep.Schema)
+	}
+	if !rep.Quick || rep.Workers != 2 || rep.Seed != 1 {
+		t.Errorf("run parameters not recorded: %+v", rep)
+	}
+	if rep.WallSeconds <= 0 {
+		t.Error("wall_seconds not recorded")
+	}
+	for _, key := range []string{
+		"latency_samples", "loss_h3_down_pct", "speedtest_starlink_down_p50_mbps",
+	} {
+		if _, ok := rep.Metrics[key]; !ok {
+			t.Errorf("metric %q missing", key)
+		}
+	}
+	g := rep.Geometry
+	if g.FastNsPerEpoch <= 0 || g.NaiveNsPerEpoch <= 0 || g.DelayNsPerCall <= 0 || g.ISLPathNsPerCall <= 0 {
+		t.Errorf("geometry microbench timings missing: %+v", g)
+	}
+	if g.AssignmentSpeedup < 5 {
+		t.Errorf("assignment speedup %.1fx below the 5x floor", g.AssignmentSpeedup)
+	}
+
+	for name, p := range map[string]string{"cpuprofile": cpuPath, "memprofile": memPath} {
+		st, err := os.Stat(p)
+		if err != nil {
+			t.Errorf("%s not written: %v", name, err)
+		} else if st.Size() == 0 {
+			t.Errorf("%s is empty", name)
+		}
 	}
 	for _, want := range []string{
 		"Table 1", "Figure 1", "Figure 2", "Figure 3", "Table 2",
@@ -33,5 +83,9 @@ func TestRunRejectsBadFlags(t *testing.T) {
 	}
 	if err := run([]string{"-no-such-flag"}, &out, &errOut); err == nil {
 		t.Error("unknown flag accepted")
+	}
+	// The profile file opens before any campaign runs, so this fails fast.
+	if err := run([]string{"-cpuprofile", "/no/such/dir/cpu.pprof"}, &out, &errOut); err == nil {
+		t.Error("unwritable cpuprofile accepted")
 	}
 }

@@ -117,18 +117,32 @@ func SlantRangeKm(a, b LatLon) float64 {
 // from observer: 90° is the zenith, 0° the local horizon, negative values
 // below the horizon.
 func ElevationDeg(observer, target LatLon) float64 {
-	o := observer.ToECEF()
-	t := target.ToECEF()
-	d := t.Sub(o)
+	return ElevationDegECEF(observer.ToECEF(), target.ToECEF())
+}
+
+// ElevationDegECEF is ElevationDeg on ECEF endpoints. Hot loops that
+// already hold Cartesian positions (satellite propagation is ECEF-native)
+// use this to avoid round-tripping through LatLon, which costs an
+// asin/atan2 plus two full geodetic-to-Cartesian conversions per call.
+func ElevationDegECEF(observer, target ECEF) float64 {
+	return Degrees(math.Asin(SinElevationECEF(observer, target)))
+}
+
+// SinElevationECEF returns sin(elevation) of target seen from observer,
+// clamped to [-1, 1]. Elevation is monotone in its sine over [-90°, 90°],
+// so visibility-mask checks and highest-elevation argmax scans can compare
+// sines directly and skip the asin entirely; precompute the mask side once
+// with math.Sin(Radians(maskDeg)).
+func SinElevationECEF(observer, target ECEF) float64 {
+	d := target.Sub(observer)
 	dn := d.Norm()
-	on := o.Norm()
+	on := observer.Norm()
 	if dn == 0 || on == 0 {
-		return 90
+		return 1 // zenith, matching ElevationDeg's degenerate case
 	}
 	// sin(elev) = (d · ô) / |d|
-	sinEl := d.Dot(o) / (dn * on)
-	sinEl = math.Max(-1, math.Min(1, sinEl))
-	return Degrees(math.Asin(sinEl))
+	sinEl := d.Dot(observer) / (dn * on)
+	return math.Max(-1, math.Min(1, sinEl))
 }
 
 // Visible reports whether target is at or above minElevationDeg as seen
@@ -172,9 +186,32 @@ func OrbitalPeriod(altKm float64) time.Duration {
 // footprint inside which a satellite at altKm is seen above
 // minElevationDeg. Standard spherical-triangle result.
 func CoverageRadiusKm(altKm, minElevationDeg float64) float64 {
+	return EarthRadiusKm * CoverageCentralAngleRad(EarthRadiusKm, EarthRadiusKm+altKm, minElevationDeg)
+}
+
+// CoverageCentralAngleRad returns the maximum Earth-central angle between
+// an observer at geocentric radius obsRadiusKm and a satellite at
+// geocentric radius satRadiusKm for the satellite to sit at or above
+// minElevationDeg. This is the exact visibility bound candidate pruning
+// rests on: a satellite whose subsatellite point lies further than this
+// angle from the observer cannot clear the mask. Returns Pi (no bound)
+// when the geometry degenerates (satellite at or below the observer
+// shell, or a mask of -90° and below).
+func CoverageCentralAngleRad(obsRadiusKm, satRadiusKm, minElevationDeg float64) float64 {
+	if satRadiusKm <= obsRadiusKm {
+		return math.Pi
+	}
 	el := Radians(minElevationDeg)
-	r := EarthRadiusKm
-	// Earth central angle between subsatellite point and footprint edge.
-	lambda := math.Acos(r*math.Cos(el)/(r+altKm)) - el
-	return r * lambda
+	cosArg := obsRadiusKm * math.Cos(el) / satRadiusKm
+	if cosArg > 1 {
+		cosArg = 1
+	}
+	if cosArg < -1 {
+		return math.Pi
+	}
+	lambda := math.Acos(cosArg) - el
+	if lambda < 0 {
+		return 0
+	}
+	return lambda
 }

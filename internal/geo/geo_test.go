@@ -164,6 +164,78 @@ func TestSlantRangeVsGreatCircle(t *testing.T) {
 	}
 }
 
+// TestElevationECEFMatchesLatLon is the property the fast path depends
+// on: for any observer/target pair, ElevationDegECEF on the converted
+// endpoints agrees with the historical LatLon formulation to 1e-9°.
+func TestElevationECEFMatchesLatLon(t *testing.T) {
+	f := func(laQ, loQ, lbQ, lcQ int16, altQ uint8) bool {
+		obs := LatLon{float64(laQ) / 400, float64(loQ) / 200, 0}
+		sat := LatLon{float64(lbQ) / 400, float64(lcQ) / 200, 300 + float64(altQ)*10}
+		viaLatLon := ElevationDeg(obs, sat)
+		viaECEF := ElevationDegECEF(obs.ToECEF(), sat.ToECEF())
+		return math.Abs(viaLatLon-viaECEF) <= 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSinElevationConsistent: sin(ElevationDegECEF) == SinElevationECEF,
+// so mask checks done in sine space decide exactly as degree checks.
+func TestSinElevationConsistent(t *testing.T) {
+	f := func(laQ, loQ, lbQ, lcQ int16) bool {
+		obs := LatLon{float64(laQ) / 400, float64(loQ) / 200, 0}.ToECEF()
+		sat := LatLon{float64(lbQ) / 400, float64(lcQ) / 200, 550}.ToECEF()
+		s := SinElevationECEF(obs, sat)
+		if s < -1 || s > 1 {
+			return false
+		}
+		return math.Abs(math.Sin(Radians(ElevationDegECEF(obs, sat)))-s) <= 1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+	// Degenerate inputs report zenith, as ElevationDeg always has.
+	if s := SinElevationECEF(ECEF{}, ECEF{1, 0, 0}); s != 1 {
+		t.Errorf("zero observer: sin = %v, want 1", s)
+	}
+	if s := SinElevationECEF(ECEF{1, 0, 0}, ECEF{1, 0, 0}); s != 1 {
+		t.Errorf("coincident points: sin = %v, want 1", s)
+	}
+}
+
+// TestCoverageCentralAngleBound checks the pruning bound is exact: a
+// target placed on the Earth-central angle returned for a mask sits at
+// that elevation, inside it sits above, outside below.
+func TestCoverageCentralAngleBound(t *testing.T) {
+	const altKm = 550.0
+	satR := EarthRadiusKm + altKm
+	obs := LatLon{0, 0, 0}
+	for _, maskDeg := range []float64{0, 10, 25, 40, 60} {
+		lam := CoverageCentralAngleRad(EarthRadiusKm, satR, maskDeg)
+		atBound := LatLon{0, Degrees(lam), altKm}
+		approx(t, ElevationDeg(obs, atBound), maskDeg, 1e-6, "elevation at coverage bound")
+		inside := LatLon{0, Degrees(lam * 0.9), altKm}
+		if ElevationDeg(obs, inside) <= maskDeg {
+			t.Errorf("mask %v°: target inside the bound not above the mask", maskDeg)
+		}
+		outside := LatLon{0, Degrees(lam * 1.1), altKm}
+		if ElevationDeg(obs, outside) >= maskDeg {
+			t.Errorf("mask %v°: target outside the bound not below the mask", maskDeg)
+		}
+	}
+	// CoverageRadiusKm is the same bound scaled to surface kilometers.
+	approx(t, CoverageRadiusKm(altKm, 25),
+		EarthRadiusKm*CoverageCentralAngleRad(EarthRadiusKm, satR, 25), 1e-9, "radius/angle consistency")
+	// Degenerate geometries disable pruning rather than inventing a bound.
+	if got := CoverageCentralAngleRad(EarthRadiusKm, EarthRadiusKm, 25); got != math.Pi {
+		t.Errorf("satellite at observer shell: %v, want Pi", got)
+	}
+	if got := CoverageCentralAngleRad(EarthRadiusKm, satR, 90); got != 0 {
+		t.Errorf("90° mask: %v, want 0 (zenith only)", got)
+	}
+}
+
 func TestRadiansDegreesRoundTrip(t *testing.T) {
 	f := func(x int32) bool {
 		v := float64(x) / 1e4

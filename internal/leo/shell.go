@@ -157,9 +157,13 @@ func (s *Shell) Position(plane, idx int, t sim.Time) geo.ECEF {
 	}
 }
 
-// Constellation is a set of shells.
+// Constellation is a set of shells. It owns a small per-instant position
+// snapshot cache (see snapshot.go) so terminals, the ISL router and
+// handover scans share one position computation per satellite per epoch.
 type Constellation struct {
-	shells []*Shell
+	shells   []*Shell
+	snaps    [snapshotRing]*Snapshot
+	snapNext int
 }
 
 // NewConstellation builds a constellation from shells.
@@ -224,5 +228,5 @@ func (g GeoSatellite) BentPipeDelay(user, teleport geo.LatLon) time.Duration {
 // Visible reports whether the GEO satellite clears minElevationDeg at the
 // user location.
 func (g GeoSatellite) Visible(user geo.LatLon, minElevationDeg float64) bool {
-	return geo.Visible(user, g.Position().ToLatLon(), minElevationDeg)
+	return geo.ElevationDegECEF(user.ToECEF(), g.Position()) >= minElevationDeg
 }

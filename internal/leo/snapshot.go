@@ -1,0 +1,82 @@
+package leo
+
+import (
+	"starlinkperf/internal/geo"
+	"starlinkperf/internal/sim"
+)
+
+// Snapshot holds the ECEF position of every satellite slot of a
+// constellation at one instant. Positions are stored for disabled slots
+// too (propagation is well-defined either way), so mid-campaign fleet
+// growth never invalidates a snapshot — callers filter on Enabled at use
+// time, exactly like ForEach does.
+type Snapshot struct {
+	At     sim.Time
+	pos    [][]geo.ECEF // [shell][plane*satsPerPlane+idx]
+	stride []int        // satellites per plane, per shell
+}
+
+// Position returns the satellite position recorded in the snapshot. It is
+// bit-identical to Constellation.Position at the snapshot instant: both
+// are produced by the same Shell.Position arithmetic.
+func (s *Snapshot) Position(id SatID) geo.ECEF {
+	return s.pos[id.Shell][id.Plane*s.stride[id.Shell]+id.Index]
+}
+
+// shellPositions returns the flat position slice of one shell, indexed by
+// plane*SatsPerPlane+idx.
+func (s *Snapshot) shellPositions(shell int) []geo.ECEF {
+	return s.pos[shell]
+}
+
+// snapshotRing is the number of distinct instants the constellation keeps
+// positions for. Epoch-aligned callers (terminals, Handovers) share one
+// entry per epoch; the ISL router and delay probes add a few more. The
+// ring is deliberately small: entries are ~38 KB for the Gen1 shell.
+const snapshotRing = 8
+
+// SnapshotAt returns the position snapshot for instant at, computing and
+// caching it on first request. The cache is owned by the Constellation
+// instance — one per simulation shard, no globals — so PR 1's parallel
+// runner keeps its determinism: a snapshot's values depend only on (shell
+// geometry, at), never on which caller primed it.
+//
+// Like the rest of the simulation objects, the cache is not safe for
+// concurrent use; each shard owns its own Constellation.
+func (c *Constellation) SnapshotAt(at sim.Time) *Snapshot {
+	if s := c.peekSnapshot(at); s != nil {
+		return s
+	}
+	s := &Snapshot{
+		At:     at,
+		pos:    make([][]geo.ECEF, len(c.shells)),
+		stride: make([]int, len(c.shells)),
+	}
+	for si, sh := range c.shells {
+		cfg := sh.cfg
+		flat := make([]geo.ECEF, cfg.Planes*cfg.SatsPerPlane)
+		for p := 0; p < cfg.Planes; p++ {
+			for i := 0; i < cfg.SatsPerPlane; i++ {
+				flat[p*cfg.SatsPerPlane+i] = sh.Position(p, i, at)
+			}
+		}
+		s.pos[si] = flat
+		s.stride[si] = cfg.SatsPerPlane
+	}
+	c.snaps[c.snapNext] = s
+	c.snapNext = (c.snapNext + 1) % snapshotRing
+	return s
+}
+
+// peekSnapshot returns the cached snapshot for at without computing one.
+// Hot paths that only need a handful of positions (the pruned assignment
+// scan) peek: they reuse shared work when it exists but never force a
+// whole-shell computation.
+func (c *Constellation) peekSnapshot(at sim.Time) *Snapshot {
+	for _, s := range c.snaps {
+		if s != nil && s.At == at {
+			return s
+		}
+	}
+	return nil
+}

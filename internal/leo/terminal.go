@@ -1,6 +1,7 @@
 package leo
 
 import (
+	"math"
 	"time"
 
 	"starlinkperf/internal/geo"
@@ -41,10 +42,48 @@ type Assignment struct {
 	OK      bool
 }
 
+// gatewayGeom is the per-gateway geometry precomputed once in NewTerminal
+// so the candidate loops never redo a ToECEF conversion or re-apply the
+// default-mask rule per satellite per call.
+type gatewayGeom struct {
+	ecef    geo.ECEF
+	norm    float64 // |ecef|
+	sinMask float64 // sin of the normalized mask (0 => 10°)
+}
+
+// delayRingSize is the number of delay-quantum entries Terminal.DelayAt
+// memoizes. Interleaved flows on one testbed (a ping train and a
+// speedtest, say) probe a handful of nearby quanta; a small ring stops
+// them from thrashing what used to be a single-entry cache.
+const delayRingSize = 8
+
+type delayEntry struct {
+	key int64
+	val time.Duration // -1 records a no-coverage window
+	ok  bool
+}
+
+// pruneMarginRad pads the orbital candidate window beyond the exact
+// visibility bound. The bound itself is exact spherical geometry; the pad
+// only has to dominate floating-point rounding in the window arithmetic,
+// so ~0.3° is already three hundred billion times larger than needed.
+const pruneMarginRad = 0.005
+
 // Terminal is a user terminal attached to a constellation. It selects a
 // serving satellite per epoch (highest elevation among satellites that can
 // also see a gateway) and exposes the resulting bent-pipe one-way delay as
 // a function of time, in the form netem links consume.
+//
+// Selection runs on a geometry fast path: candidate satellites are
+// enumerated per orbital plane from the argument-of-latitude window that
+// can possibly clear the elevation mask (a 550 km satellite above a 25°
+// mask is within ~9° great-circle of the observer, so each plane
+// contributes at most a few candidates), and all visibility checks are
+// ECEF-native sine comparisons against precomputed observer geometry. The
+// result is identical to the naive all-satellite scan, which is kept as
+// ReferenceAssignmentAt and re-run by the equivalence tests; when the
+// pruned window finds no serving satellite the terminal falls back to a
+// full scan, so correctness never rests on the pruning bound.
 //
 // Terminal is not safe for concurrent use; the simulation is
 // single-threaded.
@@ -56,13 +95,20 @@ type Terminal struct {
 	epochNS     int64
 	assignCache map[int64]Assignment
 
-	// delayCache memoizes the computed delay on a coarse time quantum:
+	// Observer geometry, fixed for the terminal's lifetime.
+	posECEF geo.ECEF
+	posNorm float64
+	// upX/upY/upZ is the unit local-up vector posECEF/|posECEF|.
+	upX, upY, upZ float64
+	sinMask       float64
+	gwGeom        []gatewayGeom
+
+	// delayRing memoizes computed delays on a coarse time quantum:
 	// satellites move at ~7.5 km/s, so the slant range drifts by well
 	// under a microsecond of propagation per 100 ms quantum.
 	delayQuantumNS int64
-	delayCacheKey  int64
-	delayCacheVal  time.Duration
-	delayCacheOK   bool
+	delayRing      [delayRingSize]delayEntry
+	delayNext      int
 }
 
 // NewTerminal creates a terminal using the given constellation and
@@ -71,7 +117,7 @@ func NewTerminal(cfg TerminalConfig, con *Constellation, gateways []Gateway) *Te
 	if cfg.Epoch <= 0 {
 		cfg.Epoch = 15 * time.Second
 	}
-	return &Terminal{
+	t := &Terminal{
 		cfg:            cfg,
 		con:            con,
 		gateways:       gateways,
@@ -79,6 +125,24 @@ func NewTerminal(cfg TerminalConfig, con *Constellation, gateways []Gateway) *Te
 		assignCache:    make(map[int64]Assignment),
 		delayQuantumNS: int64(100 * time.Millisecond),
 	}
+	t.posECEF = cfg.Pos.ToECEF()
+	t.posNorm = t.posECEF.Norm()
+	if t.posNorm > 0 {
+		t.upX = t.posECEF.X / t.posNorm
+		t.upY = t.posECEF.Y / t.posNorm
+		t.upZ = t.posECEF.Z / t.posNorm
+	}
+	t.sinMask = math.Sin(geo.Radians(cfg.MinElevationDeg))
+	t.gwGeom = make([]gatewayGeom, len(gateways))
+	for i, gw := range gateways {
+		mask := gw.MinElevationDeg
+		if mask == 0 {
+			mask = 10 // gateway dishes track lower than user terminals
+		}
+		e := gw.Pos.ToECEF()
+		t.gwGeom[i] = gatewayGeom{ecef: e, norm: e.Norm(), sinMask: math.Sin(geo.Radians(mask))}
+	}
+	return t
 }
 
 // Config returns the terminal configuration.
@@ -110,6 +174,186 @@ func (t *Terminal) AssignmentAt(at sim.Time) Assignment {
 // with the highest elevation from the terminal among those that can also
 // reach a gateway; ties in gateway choice go to the shortest downlink.
 func (t *Terminal) computeAssignment(at sim.Time) Assignment {
+	if a := t.computeAssignmentPruned(at); a.OK {
+		return a
+	}
+	// Empty pruned set (coverage gap, exotic mask, latitude outside the
+	// shell): decide from the full scan so the answer never depends on
+	// the pruning bound.
+	return t.computeAssignmentFull(at)
+}
+
+// scanState carries the running argmax of a candidate scan. Elevation is
+// compared as its sine — monotone over [-90°, 90°], so the argmax and the
+// mask test are unchanged while every asin disappears from the loop.
+type scanState struct {
+	best    Assignment
+	bestSin float64
+}
+
+func newScanState() scanState {
+	// The naive scan seeds its best elevation at -1°; mirror that so the
+	// fast path degrades identically for sub-horizon masks.
+	return scanState{bestSin: math.Sin(geo.Radians(-1))}
+}
+
+// consider tests one candidate satellite position against the terminal
+// mask, the running best and gateway reachability.
+func (t *Terminal) consider(st *scanState, id SatID, satPos geo.ECEF) {
+	d := satPos.Sub(t.posECEF)
+	dn := d.Norm()
+	sinEl := d.Dot(t.posECEF) / (dn * t.posNorm)
+	if sinEl < t.sinMask || sinEl <= st.bestSin {
+		return
+	}
+	gw := t.bestGateway(satPos)
+	if gw < 0 {
+		return
+	}
+	st.best = Assignment{Sat: id, Gateway: gw, OK: true}
+	st.bestSin = sinEl
+}
+
+// computeAssignmentPruned scans only the satellites whose argument of
+// latitude falls inside the per-plane window that can clear the mask.
+//
+// For plane with ascending-node longitude N and inclination i, the unit
+// satellite direction at argument of latitude u is p̂·cos u + q̂·sin u with
+// p̂ = (cos N, sin N, 0) and q̂ = (-sin N·cos i, cos N·cos i, sin i). Its
+// dot product with the observer's unit up-vector û is therefore
+// A·cos u + B·sin u = C·cos(u-φ) with A = û·p̂, B = û·q̂. Visibility
+// requires that dot to exceed cos λmax (λmax the coverage central angle
+// from the mask and shell radius), i.e. |u-φ| ≤ acos(cos λmax / C) — and
+// no satellite of a plane with C < cos λmax is ever visible at all.
+func (t *Terminal) computeAssignmentPruned(at sim.Time) Assignment {
+	st := newScanState()
+	tSec := at.Seconds()
+	for si, sh := range t.con.shells {
+		cfg := sh.cfg
+		planes, per := cfg.Planes, cfg.SatsPerPlane
+		if planes <= 0 || per <= 0 {
+			continue
+		}
+		lam := geo.CoverageCentralAngleRad(t.posNorm, sh.radiusKm, t.cfg.MinElevationDeg) + pruneMarginRad
+		if lam >= math.Pi {
+			// No useful bound (mask at/below -90°, or the "shell" is not
+			// above the observer): let the caller run the full scan.
+			return Assignment{}
+		}
+		cosLim := math.Cos(lam)
+		sinI, cosI := math.Sincos(sh.incRad)
+		motion := 2 * math.Pi * tSec / sh.periodSec
+		step := 2 * math.Pi / float64(per)
+		var snapPos []geo.ECEF
+		if snap := t.con.peekSnapshot(at); snap != nil {
+			snapPos = snap.shellPositions(si)
+		}
+		for p := 0; p < planes; p++ {
+			raan := 2 * math.Pi * float64(p) / float64(planes)
+			node := raan - geo.EarthRotationRadS*tSec
+			sinN, cosN := math.Sincos(node)
+			a := t.upX*cosN + t.upY*sinN
+			b := cosI*(t.upY*cosN-t.upX*sinN) + t.upZ*sinI
+			c2 := a*a + b*b
+			if cosLim > 0 && c2 <= cosLim*cosLim {
+				continue // plane's closest approach never clears the mask
+			}
+			c := math.Sqrt(c2)
+			if c == 0 {
+				continue
+			}
+			var delta float64
+			switch x := cosLim / c; {
+			case x >= 1:
+				continue
+			case x <= -1:
+				delta = math.Pi
+			default:
+				delta = math.Acos(x)
+			}
+			phi := math.Atan2(b, a)
+			base := 2*math.Pi*float64(cfg.PhasingF)*float64(p)/float64(planes*per) + motion
+			k0 := int(math.Ceil((phi - delta - base) / step))
+			k1 := int(math.Floor((phi + delta - base) / step))
+			if k1-k0+1 >= per {
+				k0, k1 = 0, per-1
+			}
+			for k := k0; k <= k1; k++ {
+				idx := k % per
+				if idx < 0 {
+					idx += per
+				}
+				if !sh.enabled[p][idx] {
+					continue
+				}
+				var satPos geo.ECEF
+				if snapPos != nil {
+					satPos = snapPos[p*per+idx]
+				} else {
+					satPos = sh.Position(p, idx, at)
+				}
+				t.consider(&st, SatID{Shell: si, Plane: p, Index: idx}, satPos)
+			}
+		}
+	}
+	return st.best
+}
+
+// computeAssignmentFull is the ECEF-native full scan over every enabled
+// satellite — the pruned path's fallback. It fills the constellation's
+// shared snapshot: a full scan needs every position anyway, and other
+// callers at the same instant then reuse them.
+func (t *Terminal) computeAssignmentFull(at sim.Time) Assignment {
+	st := newScanState()
+	snap := t.con.SnapshotAt(at)
+	for si, sh := range t.con.shells {
+		per := sh.cfg.SatsPerPlane
+		pos := snap.shellPositions(si)
+		for p := 0; p < sh.cfg.Planes; p++ {
+			for i := 0; i < per; i++ {
+				if !sh.enabled[p][i] {
+					continue
+				}
+				t.consider(&st, SatID{Shell: si, Plane: p, Index: i}, pos[p*per+i])
+			}
+		}
+	}
+	return st.best
+}
+
+// bestGateway returns the index of the gateway with the shortest slant
+// range that sees the satellite above its mask, or -1. The mask test is
+// the cross-multiplied sine comparison d·ĝ ≥ sin(mask)·|d| on the
+// precomputed gateway geometry, and the slant range reuses |d|.
+func (t *Terminal) bestGateway(satPos geo.ECEF) int {
+	best := -1
+	bestRange := 0.0
+	for i := range t.gwGeom {
+		g := &t.gwGeom[i]
+		d := satPos.Sub(g.ecef)
+		dn := d.Norm()
+		if d.Dot(g.ecef) < g.sinMask*dn*g.norm {
+			continue
+		}
+		if best < 0 || dn < bestRange {
+			best, bestRange = i, dn
+		}
+	}
+	return best
+}
+
+// ReferenceAssignmentAt recomputes the assignment for the epoch
+// containing at with the naive pre-fast-path algorithm: scan every
+// enabled satellite, round-trip positions through LatLon, compare
+// elevations in degrees. It is deliberately kept in-tree (uncached) as
+// the ground truth the equivalence tests and the naive-vs-fast benchmarks
+// run against.
+func (t *Terminal) ReferenceAssignmentAt(at sim.Time) Assignment {
+	ep := t.epochOf(at)
+	return t.computeAssignmentReference(sim.Time(ep * t.epochNS))
+}
+
+func (t *Terminal) computeAssignmentReference(at sim.Time) Assignment {
 	best := Assignment{}
 	bestElev := -1.0
 	t.con.ForEach(func(id SatID) {
@@ -119,7 +363,7 @@ func (t *Terminal) computeAssignment(at sim.Time) Assignment {
 		if elev < t.cfg.MinElevationDeg || elev <= bestElev {
 			return
 		}
-		gw := t.bestGateway(satLL, satPos)
+		gw := t.referenceBestGateway(satLL, satPos)
 		if gw < 0 {
 			return
 		}
@@ -129,15 +373,15 @@ func (t *Terminal) computeAssignment(at sim.Time) Assignment {
 	return best
 }
 
-// bestGateway returns the index of the gateway with the shortest slant
-// range that sees the satellite above its mask, or -1.
-func (t *Terminal) bestGateway(satLL geo.LatLon, satPos geo.ECEF) int {
+// referenceBestGateway is the naive per-candidate gateway selection, with
+// the default-mask rule applied inside the loop as the original code did.
+func (t *Terminal) referenceBestGateway(satLL geo.LatLon, satPos geo.ECEF) int {
 	best := -1
 	bestRange := 0.0
 	for i, gw := range t.gateways {
 		mask := gw.MinElevationDeg
 		if mask == 0 {
-			mask = 10 // gateway dishes track lower than user terminals
+			mask = 10
 		}
 		if geo.ElevationDeg(gw.Pos, satLL) < mask {
 			continue
@@ -155,18 +399,21 @@ func (t *Terminal) bestGateway(satLL geo.LatLon, satPos geo.ECEF) int {
 // serving (constellation gap), it returns ok=false.
 func (t *Terminal) DelayAt(at sim.Time) (time.Duration, bool) {
 	q := int64(at) / t.delayQuantumNS
-	if t.delayCacheOK && q == t.delayCacheKey {
-		return t.delayCacheVal, t.delayCacheVal >= 0
+	for i := range t.delayRing {
+		if e := &t.delayRing[i]; e.ok && e.key == q {
+			return e.val, e.val >= 0
+		}
 	}
 	a := t.AssignmentAt(at)
 	var d time.Duration = -1
 	if a.OK {
 		satPos := t.con.Position(a.Sat, at)
-		up := t.cfg.Pos.ToECEF().Distance(satPos)
-		down := satPos.Distance(t.gateways[a.Gateway].Pos.ToECEF())
+		up := t.posECEF.Distance(satPos)
+		down := satPos.Distance(t.gwGeom[a.Gateway].ecef)
 		d = geo.RadioDelay(up + down)
 	}
-	t.delayCacheKey, t.delayCacheVal, t.delayCacheOK = q, d, true
+	t.delayRing[t.delayNext] = delayEntry{key: q, val: d, ok: true}
+	t.delayNext = (t.delayNext + 1) % delayRingSize
 	return d, d >= 0
 }
 
