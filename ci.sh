@@ -23,4 +23,10 @@ go build ./...
 echo "== go test -race"
 go test -race ./...
 
+echo "== starlink-bench smoke (quick campaigns + bench.json schema)"
+bench_json=$(mktemp /tmp/bench_ci.XXXXXX.json)
+trap 'rm -f "$bench_json"' EXIT
+go run ./cmd/starlink-bench -quick -workers 2 -bench.json "$bench_json" >/dev/null
+go run ./cmd/starlink-bench -validate "$bench_json"
+
 echo "CI: all green"

@@ -83,10 +83,18 @@ func run(args []string, stdout, stderr io.Writer) error {
 	workers := fs.Int("workers", 0, "parallel campaign workers (0 = GOMAXPROCS)")
 	quick := fs.Bool("quick", false, "tiny smoke-sized campaigns for CI (ignores -scale)")
 	benchJSON := fs.String("bench.json", "", "write headline metrics as JSON to this file")
+	validate := fs.String("validate", "", "validate an existing bench.json against the schema and exit")
 	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile of the campaigns to this file")
 	memProfile := fs.String("memprofile", "", "write a post-run heap profile to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *validate != "" {
+		if err := validateBenchJSON(*validate); err != nil {
+			return fmt.Errorf("validate %s: %w", *validate, err)
+		}
+		fmt.Fprintf(stdout, "%s: valid %s report\n", *validate, benchSchema)
+		return nil
 	}
 	if *scale < 1 {
 		return fmt.Errorf("scale must be >= 1")
@@ -303,7 +311,10 @@ type benchReport struct {
 	WallSeconds float64            `json:"wall_seconds"`
 	Metrics     map[string]float64 `json:"metrics"`
 	Geometry    geometryReport     `json:"geometry"`
+	Scheduler   schedulerReport    `json:"scheduler"`
 }
+
+const benchSchema = "starlink-bench/v1"
 
 // geometryReport times the serving-satellite hot loop both ways: the
 // ECEF/pruned/snapshot fast path versus the naive full scan kept in-tree
@@ -343,7 +354,7 @@ func makeBenchReport(scale int, quick bool, workers int, seed uint64, wall time.
 	m["latency_samples"] = float64(samples)
 
 	return benchReport{
-		Schema:      "starlink-bench/v1",
+		Schema:      benchSchema,
 		Date:        time.Now().UTC().Format(time.RFC3339),
 		GoVersion:   runtime.Version(),
 		Scale:       scale,
@@ -353,6 +364,7 @@ func makeBenchReport(scale int, quick bool, workers int, seed uint64, wall time.
 		WallSeconds: wall.Seconds(),
 		Metrics:     m,
 		Geometry:    geometryMicrobench(quick),
+		Scheduler:   schedulerMicrobench(quick),
 	}
 }
 
@@ -426,4 +438,140 @@ func geometryMicrobench(quick bool) geometryReport {
 		ISLPathNsPerCall:  islNs,
 		ISLPathInstants:   islN,
 	}
+}
+
+// schedulerReport times the event loop both ways: the typed 4-ary heap
+// with pooled timers versus the seed container/heap queue kept in-tree as
+// the reference. The workload is the retransmit churn pattern (stop the
+// old timer, re-arm it, schedule the next event) that dominates scheduler
+// traffic in the transfer campaigns.
+type schedulerReport struct {
+	Events            uint64  `json:"events"`
+	NsPerEvent        float64 `json:"ns_per_event"`
+	AllocsPerEvent    float64 `json:"allocs_per_event"`
+	EventsPerSec      float64 `json:"events_per_sec"`
+	RefNsPerEvent     float64 `json:"ref_ns_per_event"`
+	RefAllocsPerEvent float64 `json:"ref_allocs_per_event"`
+	AllocReduction    float64 `json:"alloc_reduction"`
+	EventSpeedup      float64 `json:"event_speedup"`
+}
+
+// benchChurn mirrors churnConn in internal/sim's benchmarks: a TCP
+// sender's timer life cycle driven through package-level EventFuncs.
+type benchChurn struct {
+	s      *sim.Scheduler
+	retx   sim.TimerHandle
+	left   int
+	period sim.Duration
+}
+
+func benchChurnNop(arg any) {}
+
+func benchChurnFire(arg any) {
+	c := arg.(*benchChurn)
+	c.retx.Stop()
+	c.retx = c.s.AfterFunc(10*c.period, benchChurnNop, c)
+	if c.left > 0 {
+		c.left--
+		c.s.AfterFunc(c.period, benchChurnFire, c)
+	}
+}
+
+// measureChurn runs n churn rounds on s after a warmup and returns
+// ns/event and allocs/event, the latter from the runtime's cumulative
+// malloc counter so pooled (non-allocating) timers genuinely read zero.
+func measureChurn(s *sim.Scheduler, n int) (nsPerEvent, allocsPerEvent float64, events uint64) {
+	c := &benchChurn{s: s, period: sim.Duration(time.Millisecond)}
+	c.left = 1024 // warm the freelist so the measurement sees steady state
+	s.AfterFunc(c.period, benchChurnFire, c)
+	s.Run()
+	before := s.Processed
+	var ms0, ms1 runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&ms0)
+	start := time.Now()
+	c.left = n
+	s.AfterFunc(c.period, benchChurnFire, c)
+	s.Run()
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&ms1)
+	events = s.Processed - before
+	nsPerEvent = float64(elapsed.Nanoseconds()) / float64(events)
+	allocsPerEvent = float64(ms1.Mallocs-ms0.Mallocs) / float64(events)
+	return nsPerEvent, allocsPerEvent, events
+}
+
+func schedulerMicrobench(quick bool) schedulerReport {
+	n := 200000
+	if quick {
+		n = 40000
+	}
+	ns, allocs, events := measureChurn(sim.NewScheduler(1), n)
+	refNs, refAllocs, _ := measureChurn(sim.NewReferenceScheduler(1), n)
+	// The fast path measures 0 allocs/event; floor the denominator at one
+	// allocation across the whole run so the reduction stays finite.
+	floor := allocs
+	if floor < 1/float64(events) {
+		floor = 1 / float64(events)
+	}
+	return schedulerReport{
+		Events:            events,
+		NsPerEvent:        ns,
+		AllocsPerEvent:    allocs,
+		EventsPerSec:      1e9 / ns,
+		RefNsPerEvent:     refNs,
+		RefAllocsPerEvent: refAllocs,
+		AllocReduction:    refAllocs / floor,
+		EventSpeedup:      refNs / ns,
+	}
+}
+
+// validateBenchJSON checks that a bench.json written by this (or an
+// earlier) binary conforms to the starlink-bench/v1 schema, so ci.sh can
+// fail fast when a section goes missing or a timing degenerates to zero.
+func validateBenchJSON(path string) error {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var rep benchReport
+	if err := json.Unmarshal(blob, &rep); err != nil {
+		return err
+	}
+	if rep.Schema != benchSchema {
+		return fmt.Errorf("schema = %q, want %q", rep.Schema, benchSchema)
+	}
+	if _, err := time.Parse(time.RFC3339, rep.Date); err != nil {
+		return fmt.Errorf("date: %w", err)
+	}
+	if rep.GoVersion == "" {
+		return fmt.Errorf("go_version missing")
+	}
+	if rep.WallSeconds <= 0 {
+		return fmt.Errorf("wall_seconds = %v, want > 0", rep.WallSeconds)
+	}
+	for _, key := range []string{
+		"latency_samples", "loss_h3_down_pct", "loss_msg_down_pct",
+		"speedtest_starlink_down_p50_mbps", "h3_starlink_down_p50_mbps",
+	} {
+		if _, ok := rep.Metrics[key]; !ok {
+			return fmt.Errorf("metrics[%q] missing", key)
+		}
+	}
+	g := rep.Geometry
+	if g.FastNsPerEpoch <= 0 || g.NaiveNsPerEpoch <= 0 || g.DelayNsPerCall <= 0 || g.ISLPathNsPerCall <= 0 {
+		return fmt.Errorf("geometry section incomplete: %+v", g)
+	}
+	s := rep.Scheduler
+	if s.Events == 0 || s.NsPerEvent <= 0 || s.EventsPerSec <= 0 || s.RefNsPerEvent <= 0 || s.RefAllocsPerEvent <= 0 {
+		return fmt.Errorf("scheduler section incomplete: %+v", s)
+	}
+	if s.AllocsPerEvent < 0 || s.AllocsPerEvent >= s.RefAllocsPerEvent {
+		return fmt.Errorf("scheduler allocs_per_event = %v, reference = %v; pooled path should allocate less",
+			s.AllocsPerEvent, s.RefAllocsPerEvent)
+	}
+	if s.AllocReduction < 5 {
+		return fmt.Errorf("scheduler alloc_reduction = %.2f, want >= 5", s.AllocReduction)
+	}
+	return nil
 }

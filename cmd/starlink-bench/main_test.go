@@ -54,6 +54,22 @@ func TestRunQuickSmoke(t *testing.T) {
 	if g.AssignmentSpeedup < 5 {
 		t.Errorf("assignment speedup %.1fx below the 5x floor", g.AssignmentSpeedup)
 	}
+	s := rep.Scheduler
+	if s.Events == 0 || s.NsPerEvent <= 0 || s.EventsPerSec <= 0 || s.RefNsPerEvent <= 0 {
+		t.Errorf("scheduler microbench timings missing: %+v", s)
+	}
+	if s.AllocReduction < 5 {
+		t.Errorf("scheduler alloc reduction %.1fx below the 5x floor", s.AllocReduction)
+	}
+
+	// The report the binary just wrote must pass its own validator.
+	var vOut, vErr strings.Builder
+	if err := run([]string{"-validate", jsonPath}, &vOut, &vErr); err != nil {
+		t.Errorf("-validate rejected a fresh report: %v", err)
+	}
+	if !strings.Contains(vOut.String(), "valid starlink-bench/v1 report") {
+		t.Errorf("-validate output = %q", vOut.String())
+	}
 
 	for name, p := range map[string]string{"cpuprofile": cpuPath, "memprofile": memPath} {
 		st, err := os.Stat(p)
@@ -73,6 +89,81 @@ func TestRunQuickSmoke(t *testing.T) {
 	}
 	if !strings.Contains(errOut.String(), "campaigns:") {
 		t.Error("progress lines missing from stderr")
+	}
+}
+
+// TestValidateBenchJSON exercises the validator on synthetic reports so
+// the schema checks are covered without a second campaign run.
+func TestValidateBenchJSON(t *testing.T) {
+	valid := benchReport{
+		Schema:      benchSchema,
+		Date:        "2026-08-05T00:00:00Z",
+		GoVersion:   "go1.22",
+		Scale:       1,
+		Quick:       true,
+		Workers:     2,
+		Seed:        1,
+		WallSeconds: 9.5,
+		Metrics: map[string]float64{
+			"latency_samples": 1, "loss_h3_down_pct": 0.1, "loss_msg_down_pct": 0.1,
+			"speedtest_starlink_down_p50_mbps": 100, "h3_starlink_down_p50_mbps": 50,
+		},
+		Geometry: geometryReport{
+			FastNsPerEpoch: 1000, NaiveNsPerEpoch: 50000,
+			DelayNsPerCall: 100, ISLPathNsPerCall: 1e6,
+		},
+		Scheduler: schedulerReport{
+			Events: 1 << 20, NsPerEvent: 70, AllocsPerEvent: 0, EventsPerSec: 1.4e7,
+			RefNsPerEvent: 250, RefAllocsPerEvent: 2, AllocReduction: 1e6, EventSpeedup: 3.5,
+		},
+	}
+	write := func(t *testing.T, rep benchReport) string {
+		t.Helper()
+		blob, err := json.Marshal(rep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := filepath.Join(t.TempDir(), "bench.json")
+		if err := os.WriteFile(p, blob, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	if err := validateBenchJSON(write(t, valid)); err != nil {
+		t.Errorf("valid report rejected: %v", err)
+	}
+
+	broken := map[string]func(*benchReport){
+		"wrong schema":         func(r *benchReport) { r.Schema = "starlink-bench/v0" },
+		"bad date":             func(r *benchReport) { r.Date = "yesterday" },
+		"missing metric":       func(r *benchReport) { delete(r.Metrics, "latency_samples") },
+		"no geometry":          func(r *benchReport) { r.Geometry = geometryReport{} },
+		"no scheduler":         func(r *benchReport) { r.Scheduler = schedulerReport{} },
+		"alloc regression":     func(r *benchReport) { r.Scheduler.AllocsPerEvent = 3 },
+		"reduction below 5x":   func(r *benchReport) { r.Scheduler.AllocReduction = 4.5 },
+		"zero wall":            func(r *benchReport) { r.WallSeconds = 0 },
+		"scheduler ns missing": func(r *benchReport) { r.Scheduler.NsPerEvent = 0 },
+	}
+	for name, mutate := range broken {
+		rep := valid
+		rep.Metrics = make(map[string]float64, len(valid.Metrics))
+		for k, v := range valid.Metrics {
+			rep.Metrics[k] = v
+		}
+		mutate(&rep)
+		if err := validateBenchJSON(write(t, rep)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+	if err := validateBenchJSON(filepath.Join(t.TempDir(), "absent.json")); err == nil {
+		t.Error("missing file accepted")
+	}
+	p := filepath.Join(t.TempDir(), "garbage.json")
+	if err := os.WriteFile(p, []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := validateBenchJSON(p); err == nil {
+		t.Error("unparseable file accepted")
 	}
 }
 

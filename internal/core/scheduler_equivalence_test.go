@@ -1,0 +1,82 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"starlinkperf/internal/quic"
+)
+
+// campaignFingerprint runs a scaled-down slice of every campaign family
+// on one testbed and returns the full metrics structs plus the exact
+// number of events the scheduler executed.
+type campaignFingerprint struct {
+	Lat       *LatencyData
+	H3        []h3Fingerprint
+	Msg       *MsgCampaign
+	Speedtest any
+	Web       any
+	Processed uint64
+}
+
+// h3Fingerprint is an H3Record with the live *quic.Connection endpoints
+// replaced by their value-only Stats. reflect.DeepEqual declares any
+// non-nil func field unequal, and the connections reach the scheduler's
+// pooled timers (whose callbacks are funcs), so the raw record can never
+// compare equal even when every measured value matches. Every metric the
+// campaigns report is retained here.
+type h3Fingerprint struct {
+	Record      H3Record
+	ClientStats quic.Stats
+	ServerStats quic.Stats
+}
+
+func fingerprint(seed uint64, reference bool) campaignFingerprint {
+	cfg := DefaultConfig()
+	cfg.Seed = seed
+	cfg.ReferenceScheduler = reference
+	tb := NewTestbed(cfg)
+	fp := campaignFingerprint{Lat: tb.RunLatencyCampaign(2*time.Hour, 15*time.Minute)}
+	h3 := tb.RunH3Campaign(1, 2<<20, true, 5*time.Second)
+	for _, r := range h3.Records {
+		clean := h3Fingerprint{Record: r, ClientStats: r.Result.Client.Stats, ServerStats: r.Result.Server.Stats}
+		clean.Record.Result.Client, clean.Record.Result.Server = nil, nil
+		fp.H3 = append(fp.H3, clean)
+	}
+	fp.Msg = tb.RunMessagesCampaign(1, 20*time.Second, true)
+	fp.Speedtest = tb.RunSpeedtestCampaign(TechStarlink, 1, time.Minute)
+	fp.Web = tb.RunWebCampaign(TechStarlink, 2, time.Second)
+	fp.Processed = tb.Sched.Processed
+	return fp
+}
+
+// The allocation-free 4-ary-heap scheduler must be campaign-equivalent
+// to the seed container/heap queue: same (at, seq) firing order, same
+// RNG draw sequence, therefore bit-identical metrics — every float,
+// every RTT sample, every loss burst — and the exact same event count.
+func TestSchedulerCampaignEquivalence(t *testing.T) {
+	for _, seed := range []uint64{1, 7, 42} {
+		fast := fingerprint(seed, false)
+		ref := fingerprint(seed, true)
+		if fast.Processed != ref.Processed {
+			t.Errorf("seed %d: fast scheduler ran %d events, reference %d",
+				seed, fast.Processed, ref.Processed)
+		}
+		if !reflect.DeepEqual(fast.Lat, ref.Lat) {
+			t.Errorf("seed %d: latency campaign metrics diverge between schedulers", seed)
+		}
+		if !reflect.DeepEqual(fast.H3, ref.H3) {
+			t.Errorf("seed %d: H3 campaign metrics diverge between schedulers", seed)
+		}
+		if !reflect.DeepEqual(fast.Msg, ref.Msg) {
+			t.Errorf("seed %d: messages campaign metrics diverge between schedulers", seed)
+		}
+		if !reflect.DeepEqual(fast.Speedtest, ref.Speedtest) {
+			t.Errorf("seed %d: speedtest campaign metrics diverge between schedulers", seed)
+		}
+		if !reflect.DeepEqual(fast.Web, ref.Web) {
+			t.Errorf("seed %d: web campaign metrics diverge between schedulers", seed)
+		}
+	}
+}

@@ -79,6 +79,11 @@ type Config struct {
 	// DisableSatComPEP removes the dual PEP from the SatCom path (the
 	// ablation showing what the proxies buy).
 	DisableSatComPEP bool
+	// ReferenceScheduler drives the testbed with the seed container/heap
+	// event queue instead of the allocation-free 4-ary heap. Campaign
+	// output must be bit-identical either way; the equivalence suite in
+	// scheduler_equivalence_test.go enforces it across seeds.
+	ReferenceScheduler bool
 }
 
 // DefaultConfig returns the calibrated testbed configuration.
@@ -151,6 +156,9 @@ func terrLink(a, b geo.LatLon, stretch float64, extra time.Duration, rateBps flo
 // NewTestbed wires the full environment.
 func NewTestbed(cfg Config) *Testbed {
 	sched := sim.NewScheduler(cfg.Seed)
+	if cfg.ReferenceScheduler {
+		sched = sim.NewReferenceScheduler(cfg.Seed)
+	}
 	nw := netem.New(sched)
 	tb := &Testbed{Cfg: cfg, Sched: sched, Net: nw}
 

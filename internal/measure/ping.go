@@ -28,9 +28,22 @@ type Prober struct {
 }
 
 type echoWait struct {
+	p       *Prober
+	seq     int
 	sentAt  sim.Time
 	cb      func(rtt time.Duration, ok bool)
-	timeout *sim.Timer
+	timeout sim.TimerHandle
+}
+
+// echoTimeout is the sim.EventFunc trampoline for echo expiry; the
+// per-echo state rides in the echoWait record itself, so arming the
+// timeout allocates no closure.
+func echoTimeout(arg any) {
+	w := arg.(*echoWait)
+	if _, pending := w.p.echoCBs[w.seq]; pending {
+		delete(w.p.echoCBs, w.seq)
+		w.cb(0, false)
+	}
 }
 
 // NewProber binds the prober to the node's ICMP traffic.
@@ -75,13 +88,8 @@ const PingTimeout = 3 * time.Second
 func (p *Prober) Echo(dst netem.Addr, size int, cb func(rtt time.Duration, ok bool)) {
 	seq := p.nextSeq
 	p.nextSeq++
-	w := &echoWait{sentAt: p.sched.Now(), cb: cb}
-	w.timeout = p.sched.After(PingTimeout, func() {
-		if _, pending := p.echoCBs[seq]; pending {
-			delete(p.echoCBs, seq)
-			cb(0, false)
-		}
-	})
+	w := &echoWait{p: p, seq: seq, sentAt: p.sched.Now(), cb: cb}
+	w.timeout = p.sched.AfterFunc(PingTimeout, echoTimeout, w)
 	p.echoCBs[seq] = w
 	p.node.Send(&netem.Packet{
 		Dst:     dst,

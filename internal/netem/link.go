@@ -118,6 +118,20 @@ func (l *Link) SetDown(down func(sim.Time) bool) { l.cfg.Down = down }
 // Config returns the link configuration (by value).
 func (l *Link) Config() LinkConfig { return l.cfg }
 
+// linkEvent carries one in-flight packet through its two scheduler hops
+// (end of serialization, then arrival). Events are pooled on the Network
+// and passed to sim.AtFunc as the arg pointer, so forwarding a packet
+// schedules without allocating a closure, a timer, or the event itself.
+type linkEvent struct {
+	link *Link
+	pkt  *Packet
+}
+
+// linkTxDone and linkDeliver are the package-level EventFunc trampolines
+// for the two hops; being plain functions, scheduling them boxes nothing.
+func linkTxDone(arg any)  { arg.(*linkEvent).txDone() }
+func linkDeliver(arg any) { arg.(*linkEvent).deliver() }
+
 // send enqueues pkt for transmission. Queue overflow drops immediately
 // (congestion loss); otherwise the packet serializes FIFO at the link
 // rate, may be lost to the medium or an outage at the end of
@@ -150,43 +164,58 @@ func (l *Link) send(pkt *Packet) {
 	}
 	l.stats.Sent++
 
-	s.At(txDone, func() {
-		if l.cfg.RateBps > 0 {
-			l.queuedBytes -= pkt.Size
-		}
-		at := s.Now()
-		if l.cfg.Down != nil && l.cfg.Down(at) {
-			l.stats.DropsDown++
-			l.drop(at, pkt, DropOutage)
-			return
-		}
-		if l.cfg.Loss != nil && l.cfg.Loss.Lost(at) {
-			l.stats.DropsLoss++
-			l.drop(at, pkt, DropMedium)
-			return
-		}
-		var prop time.Duration
-		if l.cfg.Delay != nil {
-			prop = l.cfg.Delay(at)
-		}
-		if l.cfg.Jitter != nil {
-			prop += l.cfg.Jitter(at)
-		}
-		arrival := at.Add(prop)
-		// A link is a FIFO pipe: jitter and shrinking path delays must
-		// not reorder packets in flight.
-		if arrival < l.lastArrival {
-			arrival = l.lastArrival
-		}
-		l.lastArrival = arrival
-		s.At(arrival, func() {
-			l.stats.Delivered++
-			if l.DeliverHook != nil {
-				l.DeliverHook(s.Now(), pkt)
-			}
-			l.to.receive(pkt)
-		})
-	})
+	s.AtFunc(txDone, linkTxDone, l.net.getLinkEvent(l, pkt))
+}
+
+// txDone runs at the end of serialization: dequeue, apply outage and
+// medium loss, then schedule the arrival after propagation (reusing the
+// same pooled event for the second hop).
+func (ev *linkEvent) txDone() {
+	l, pkt := ev.link, ev.pkt
+	s := l.net.sched
+	if l.cfg.RateBps > 0 {
+		l.queuedBytes -= pkt.Size
+	}
+	at := s.Now()
+	if l.cfg.Down != nil && l.cfg.Down(at) {
+		l.net.putLinkEvent(ev)
+		l.stats.DropsDown++
+		l.drop(at, pkt, DropOutage)
+		return
+	}
+	if l.cfg.Loss != nil && l.cfg.Loss.Lost(at) {
+		l.net.putLinkEvent(ev)
+		l.stats.DropsLoss++
+		l.drop(at, pkt, DropMedium)
+		return
+	}
+	var prop time.Duration
+	if l.cfg.Delay != nil {
+		prop = l.cfg.Delay(at)
+	}
+	if l.cfg.Jitter != nil {
+		prop += l.cfg.Jitter(at)
+	}
+	arrival := at.Add(prop)
+	// A link is a FIFO pipe: jitter and shrinking path delays must
+	// not reorder packets in flight.
+	if arrival < l.lastArrival {
+		arrival = l.lastArrival
+	}
+	l.lastArrival = arrival
+	s.AtFunc(arrival, linkDeliver, ev)
+}
+
+// deliver hands the packet to the far node. The event returns to the
+// pool first so nested sends triggered by delivery can reuse it.
+func (ev *linkEvent) deliver() {
+	l, pkt := ev.link, ev.pkt
+	l.net.putLinkEvent(ev)
+	l.stats.Delivered++
+	if l.DeliverHook != nil {
+		l.DeliverHook(l.net.sched.Now(), pkt)
+	}
+	l.to.receive(pkt)
 }
 
 func (l *Link) drop(now sim.Time, pkt *Packet, reason DropReason) {

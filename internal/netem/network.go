@@ -14,6 +14,10 @@ type Network struct {
 	byName   map[string]*Node
 	links    []*Link
 	packetID uint64
+	// evFree recycles linkEvent records across all links; the pool's
+	// high-water mark is the peak number of packets in flight, after
+	// which the per-hop event path stops allocating.
+	evFree []*linkEvent
 }
 
 // New creates an empty network on the given scheduler.
@@ -89,4 +93,20 @@ func (nw *Network) ConnectAsym(a, b *Node, ab, ba LinkConfig) (*Link, *Link) {
 func (nw *Network) nextPacketID() uint64 {
 	nw.packetID++
 	return nw.packetID
+}
+
+func (nw *Network) getLinkEvent(l *Link, pkt *Packet) *linkEvent {
+	if n := len(nw.evFree); n > 0 {
+		ev := nw.evFree[n-1]
+		nw.evFree[n-1] = nil
+		nw.evFree = nw.evFree[:n-1]
+		ev.link, ev.pkt = l, pkt
+		return ev
+	}
+	return &linkEvent{link: l, pkt: pkt}
+}
+
+func (nw *Network) putLinkEvent(ev *linkEvent) {
+	ev.link, ev.pkt = nil, nil
+	nw.evFree = append(nw.evFree, ev)
 }

@@ -95,10 +95,10 @@ type Connection struct {
 	pacer             Pacer
 	rtt               RTTEstimator
 	ptoCount          int
-	timer             *sim.Timer
+	timer             sim.TimerHandle
 	lastElicitingSent sim.Time
 	retxQueue         []Frame
-	pacingTimer       *sim.Timer
+	pacingTimer       sim.TimerHandle
 
 	// Crypto (opaque handshake bytes, offset-tracked like a stream).
 	cryptoOut     []byte
@@ -110,7 +110,7 @@ type Connection struct {
 	recvSet        rangeSet
 	ackPending     bool
 	elicitingSince int
-	ackTimer       *sim.Timer
+	ackTimer       sim.TimerHandle
 	largestRecvAt  sim.Time
 
 	// Connection flow control.
@@ -264,15 +264,9 @@ func (c *Connection) Close(code uint64, reason string) {
 
 func (c *Connection) teardown() {
 	c.state = stateClosed
-	if c.timer != nil {
-		c.timer.Stop()
-	}
-	if c.ackTimer != nil {
-		c.ackTimer.Stop()
-	}
-	if c.pacingTimer != nil {
-		c.pacingTimer.Stop()
-	}
+	c.timer.Stop()
+	c.ackTimer.Stop()
+	c.pacingTimer.Stop()
 	c.ep.removeConn(c.connID)
 	if c.OnClosed != nil {
 		c.OnClosed()
@@ -371,11 +365,8 @@ func (c *Connection) handlePacket(p *Packet, from netem.Addr, fromPort uint16) {
 		c.elicitingSince++
 		if c.elicitingSince >= c.cfg.AckElicitingThreshold {
 			c.ackPending = true
-		} else if c.ackTimer == nil || !c.ackTimer.Pending() {
-			c.ackTimer = c.sched.After(c.cfg.MaxAckDelay, func() {
-				c.ackPending = true
-				c.maybeSend()
-			})
+		} else if !c.ackTimer.Pending() {
+			c.ackTimer = c.sched.AfterFunc(c.cfg.MaxAckDelay, qcAckTimeout, c)
 		}
 	}
 	c.maybeSend()
@@ -517,10 +508,8 @@ func (c *Connection) handleLost(lost []*sentPacket, now sim.Time) {
 // setTimer arms the single recovery timer: loss-time mode when candidates
 // exist, PTO mode while ack-eliciting packets are in flight.
 func (c *Connection) setTimer() {
-	if c.timer != nil {
-		c.timer.Stop()
-		c.timer = nil
-	}
+	c.timer.Stop()
+	c.timer = sim.TimerHandle{}
 	if c.state == stateClosed {
 		return
 	}
@@ -528,7 +517,7 @@ func (c *Connection) setTimer() {
 		if at < c.sched.Now() {
 			at = c.sched.Now()
 		}
-		c.timer = c.sched.At(at, c.onLossTimer)
+		c.timer = c.sched.AtFunc(at, qcLossTimer, c)
 		return
 	}
 	if c.ld.HasUnacked() {
@@ -537,7 +526,7 @@ func (c *Connection) setTimer() {
 		if now := c.sched.Now(); at < now {
 			at = now
 		}
-		c.timer = c.sched.At(at, c.onPTO)
+		c.timer = c.sched.AtFunc(at, qcPTO, c)
 	}
 }
 
@@ -590,10 +579,8 @@ func (c *Connection) buildAck() *AckFrame {
 func (c *Connection) ackSent() {
 	c.ackPending = false
 	c.elicitingSince = 0
-	if c.ackTimer != nil {
-		c.ackTimer.Stop()
-		c.ackTimer = nil
-	}
+	c.ackTimer.Stop()
+	c.ackTimer = sim.TimerHandle{}
 }
 
 // hasCryptoToSend reports pending handshake bytes.
@@ -633,8 +620,8 @@ func (c *Connection) maybeSend() {
 					}
 				}
 				c.retxQueue = append(keep, c.retxQueue...)
-				if c.pacingTimer == nil || !c.pacingTimer.Pending() {
-					c.pacingTimer = c.sched.After(d, c.maybeSend)
+				if !c.pacingTimer.Pending() {
+					c.pacingTimer = c.sched.AfterFunc(d, qcMaybeSend, c)
 				}
 				break
 			}
@@ -827,4 +814,17 @@ func (c *Connection) sendPacket(frames []Frame) {
 		c.TraceSent(now, hdr.Number, len(buf), eliciting)
 	}
 	c.ep.sendDatagram(c.remote, c.remotePort, buf)
+}
+
+// Scheduler trampolines: package-level sim.EventFunc adapters so the
+// recovery timer (re-armed after every send and every ACK), the pacing
+// timer (re-armed per packet under pacing), and the max-ack-delay timer
+// schedule without allocating a bound-method closure per arming.
+func qcLossTimer(arg any) { arg.(*Connection).onLossTimer() }
+func qcPTO(arg any)       { arg.(*Connection).onPTO() }
+func qcMaybeSend(arg any) { arg.(*Connection).maybeSend() }
+func qcAckTimeout(arg any) {
+	c := arg.(*Connection)
+	c.ackPending = true
+	c.maybeSend()
 }

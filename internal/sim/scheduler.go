@@ -1,7 +1,6 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"time"
 )
@@ -9,81 +8,131 @@ import (
 // Event is a callback executed at a scheduled virtual time.
 type Event func()
 
-// Timer is a handle to a scheduled event. It can be stopped before it
-// fires; a stopped or fired timer is inert.
+// EventFunc is the allocation-free event form: a package-level function
+// receiving its state through arg. Because arg holds a pointer the call
+// site already owns, scheduling with AtFunc/AfterFunc performs no
+// closure allocation — the hot packet path (netem link transmit/arrival,
+// TCP retransmit and delayed-ack timers, QUIC loss/PTO/pacing timers)
+// schedules this way.
+type EventFunc func(arg any)
+
+// Timer is a pooled event-queue node. Nodes are owned by the Scheduler:
+// once fired or compacted away they return to a freelist and are reused
+// by later At/After calls, so steady-state scheduling allocates nothing.
+// External code never holds a *Timer; it holds a TimerHandle, which
+// carries the generation the node had when it was issued.
 type Timer struct {
+	s       *Scheduler
 	at      Time
 	seq     uint64
 	fn      Event
-	index   int // position in the heap, -1 when not queued
+	efn     EventFunc
+	arg     any
+	index   int32 // position in the heap, -1 when not queued
+	gen     uint32
 	stopped bool
 }
 
-// At returns the virtual time the timer is (or was) scheduled to fire.
-func (t *Timer) At() Time { return t.at }
+// TimerHandle is the caller's reference to a scheduled event. The zero
+// value is inert: Stop and Pending on it are safe no-ops. A handle
+// outlives its timer harmlessly — the generation counter on the pooled
+// node means a stale handle can never stop a recycled timer that now
+// belongs to someone else.
+type TimerHandle struct {
+	t   *Timer
+	gen uint32
+}
+
+// At returns the virtual time the timer is scheduled to fire, or 0 if
+// the handle is stale (the timer fired, was stopped, or was recycled).
+func (h TimerHandle) At() Time {
+	if h.t == nil || h.t.gen != h.gen {
+		return 0
+	}
+	return h.t.at
+}
 
 // Stop cancels the timer. It reports whether the timer was still pending
 // (i.e. the call prevented the event from running).
-func (t *Timer) Stop() bool {
-	if t.stopped || t.index < 0 {
+func (h TimerHandle) Stop() bool {
+	t := h.t
+	if t == nil || t.gen != h.gen || t.stopped || t.index < 0 {
 		return false
 	}
 	t.stopped = true
+	s := t.s
+	if s.ref == nil {
+		s.nstopped++
+		// Lazy compaction: once stopped timers outnumber live ones the
+		// queue is mostly garbage — sweep them back to the freelist so
+		// campaigns that cancel millions of retransmit timers keep a
+		// bounded queue (and Pending() stays honest).
+		if s.nstopped*2 > len(s.heap) && len(s.heap) >= compactMin {
+			s.compact()
+		}
+	}
 	return true
 }
 
 // Pending reports whether the timer is still queued and not stopped.
-func (t *Timer) Pending() bool { return t.index >= 0 && !t.stopped }
-
-type eventQueue []*Timer
-
-func (q eventQueue) Len() int { return len(q) }
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].at != q[j].at {
-		return q[i].at < q[j].at
-	}
-	return q[i].seq < q[j].seq // FIFO among equal timestamps
-}
-func (q eventQueue) Swap(i, j int) {
-	q[i], q[j] = q[j], q[i]
-	q[i].index = i
-	q[j].index = j
-}
-func (q *eventQueue) Push(x any) {
-	t := x.(*Timer)
-	t.index = len(*q)
-	*q = append(*q, t)
-}
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	t := old[n-1]
-	old[n-1] = nil
-	t.index = -1
-	*q = old[:n-1]
-	return t
+func (h TimerHandle) Pending() bool {
+	t := h.t
+	return t != nil && t.gen == h.gen && t.index >= 0 && !t.stopped
 }
 
 // Scheduler owns the virtual clock and the pending-event queue.
 // It is not safe for concurrent use: the simulation is single-threaded by
 // design, which is what makes it deterministic.
+//
+// The queue is a typed 4-ary min-heap ordered by (at, seq) — FIFO among
+// equal timestamps — with no interface boxing. Fired and compacted
+// timers are recycled through a freelist, so the steady-state event loop
+// allocates nothing. NewReferenceScheduler builds the same Scheduler on
+// the seed container/heap queue instead; both fire the identical
+// (at, seq) sequence, which the equivalence suite in internal/core
+// verifies campaign-by-campaign.
 type Scheduler struct {
-	now     Time
-	seq     uint64
-	queue   eventQueue
-	rng     *RNG
-	running bool
-	stopped bool
+	now      Time
+	seq      uint64
+	heap     []*Timer
+	nstopped int      // stopped timers still sitting in heap
+	free     []*Timer // recycled nodes
+	ref      *refQueue
+	rng      *RNG
+	running  bool
+	stopped  bool
 	// Processed counts events executed since construction; useful for
 	// progress accounting and runaway detection in tests.
 	Processed uint64
 }
+
+// heapArity is the fan-out of the scheduler heap. 4 children per node
+// halves the tree depth of a binary heap and keeps each sibling group in
+// one or two cache lines, which is where sift-down spends its time.
+const heapArity = 4
+
+// compactMin is the queue length below which compaction is not worth
+// the sweep.
+const compactMin = 64
 
 // NewScheduler returns a scheduler with its clock at zero and all RNG
 // streams derived from seed.
 func NewScheduler(seed uint64) *Scheduler {
 	return &Scheduler{rng: NewRNG(seed)}
 }
+
+// NewReferenceScheduler returns a scheduler driven by the seed
+// container/heap event queue, kept in-tree as the correctness reference
+// for the allocation-free fast path. It fires the same events in the
+// same order and draws the same RNG sequence; it just allocates per
+// event the way the seed did.
+func NewReferenceScheduler(seed uint64) *Scheduler {
+	return &Scheduler{rng: NewRNG(seed), ref: &refQueue{}}
+}
+
+// IsReference reports whether this scheduler runs on the reference
+// container/heap queue rather than the allocation-free 4-ary heap.
+func (s *Scheduler) IsReference() bool { return s.ref != nil }
 
 // Now returns the current virtual time.
 func (s *Scheduler) Now() Time { return s.now }
@@ -95,38 +144,128 @@ func (s *Scheduler) RNG() *RNG { return s.rng }
 // At schedules fn to run at the absolute virtual time at. Scheduling in
 // the past (before Now) panics: it is always a logic error and silently
 // reordering events would destroy causality.
-func (s *Scheduler) At(at Time, fn Event) *Timer {
-	if at < s.now {
-		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", at, s.now))
-	}
+func (s *Scheduler) At(at Time, fn Event) TimerHandle {
 	if fn == nil {
 		panic("sim: nil event")
 	}
-	t := &Timer{at: at, seq: s.seq, fn: fn}
-	s.seq++
-	heap.Push(&s.queue, t)
-	return t
+	return s.schedule(at, fn, nil, nil)
 }
 
 // After schedules fn to run d after the current virtual time.
-func (s *Scheduler) After(d Duration, fn Event) *Timer {
+func (s *Scheduler) After(d Duration, fn Event) TimerHandle {
 	return s.At(s.now.Add(d), fn)
+}
+
+// AtFunc schedules fn(arg) at the absolute virtual time at without
+// allocating: fn is a package-level function and arg a pointer the
+// caller already holds.
+func (s *Scheduler) AtFunc(at Time, fn EventFunc, arg any) TimerHandle {
+	if fn == nil {
+		panic("sim: nil event")
+	}
+	return s.schedule(at, nil, fn, arg)
+}
+
+// AfterFunc schedules fn(arg) to run d after the current virtual time.
+func (s *Scheduler) AfterFunc(d Duration, fn EventFunc, arg any) TimerHandle {
+	return s.AtFunc(s.now.Add(d), fn, arg)
+}
+
+func (s *Scheduler) schedule(at Time, fn Event, efn EventFunc, arg any) TimerHandle {
+	if at < s.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", at, s.now))
+	}
+	var t *Timer
+	if s.ref != nil {
+		// Reference path: fresh node per event, never recycled — the
+		// seed's allocation behavior, preserved for honest comparison.
+		t = &Timer{s: s}
+	} else {
+		t = s.alloc()
+	}
+	t.at, t.seq, t.fn, t.efn, t.arg = at, s.seq, fn, efn, arg
+	s.seq++
+	if s.ref != nil {
+		s.ref.push(t)
+	} else {
+		s.heapPush(t)
+	}
+	return TimerHandle{t: t, gen: t.gen}
 }
 
 // Duration is the standard library duration; aliased so call sites read
 // naturally as sched.After(10*sim.Millisecond, ...).
 type Duration = time.Duration
 
-// pop removes and returns the earliest pending, non-stopped timer,
-// or nil when the queue is exhausted.
-func (s *Scheduler) pop() *Timer {
-	for s.queue.Len() > 0 {
-		t := heap.Pop(&s.queue).(*Timer)
+// alloc takes a node from the freelist, or makes one.
+func (s *Scheduler) alloc() *Timer {
+	if n := len(s.free); n > 0 {
+		t := s.free[n-1]
+		s.free[n-1] = nil
+		s.free = s.free[:n-1]
+		return t
+	}
+	return &Timer{s: s, index: -1}
+}
+
+// recycle returns a node to the freelist. Bumping the generation
+// invalidates every handle issued for the node's previous life.
+func (s *Scheduler) recycle(t *Timer) {
+	t.gen++
+	t.fn, t.efn, t.arg = nil, nil, nil
+	t.index = -1
+	t.stopped = false
+	s.free = append(s.free, t)
+}
+
+// peek returns the earliest pending, non-stopped timer without removing
+// it, discarding (and recycling) stopped timers it passes over. It never
+// perturbs the firing order of live events.
+func (s *Scheduler) peek() *Timer {
+	if s.ref != nil {
+		return s.ref.peek()
+	}
+	for len(s.heap) > 0 {
+		t := s.heap[0]
 		if !t.stopped {
 			return t
 		}
+		s.heapPopMin()
+		s.nstopped--
+		s.recycle(t)
 	}
 	return nil
+}
+
+// pop removes and returns the earliest pending, non-stopped timer,
+// or nil when the queue is exhausted.
+func (s *Scheduler) pop() *Timer {
+	t := s.peek()
+	if t == nil {
+		return nil
+	}
+	if s.ref != nil {
+		s.ref.popMin()
+	} else {
+		s.heapPopMin()
+	}
+	return t
+}
+
+// fire recycles t and runs its callback. The callback fields are copied
+// out first so the node can be handed to the freelist before user code
+// runs: a callback that re-arms a timer (the retransmit pattern) gets
+// this very node back with a fresh generation.
+func (s *Scheduler) fire(t *Timer) {
+	fn, efn, arg := t.fn, t.efn, t.arg
+	if s.ref == nil {
+		s.recycle(t)
+	}
+	if efn != nil {
+		efn(arg)
+	} else {
+		fn()
+	}
 }
 
 // Step runs the single earliest pending event, advancing the clock to its
@@ -138,7 +277,7 @@ func (s *Scheduler) Step() bool {
 	}
 	s.now = t.at
 	s.Processed++
-	t.fn()
+	s.fire(t)
 	return true
 }
 
@@ -158,18 +297,18 @@ func (s *Scheduler) RunUntil(deadline Time) {
 	s.running = true
 	s.stopped = false
 	for !s.stopped {
-		t := s.pop()
-		if t == nil {
+		t := s.peek()
+		if t == nil || t.at > deadline {
 			break
 		}
-		if t.at > deadline {
-			// Not due yet: push it back untouched.
-			heap.Push(&s.queue, t)
-			break
+		if s.ref != nil {
+			s.ref.popMin()
+		} else {
+			s.heapPopMin()
 		}
 		s.now = t.at
 		s.Processed++
-		t.fn()
+		s.fire(t)
 	}
 	if s.now < deadline {
 		s.now = deadline
@@ -183,17 +322,130 @@ func (s *Scheduler) RunFor(d Duration) { s.RunUntil(s.now.Add(d)) }
 // Stop halts Run/RunUntil after the currently executing event returns.
 func (s *Scheduler) Stop() { s.stopped = true }
 
-// Pending returns the number of queued (possibly stopped) timers.
-func (s *Scheduler) Pending() int { return s.queue.Len() }
+// Pending returns the number of armed, un-stopped timers. (The seed
+// scheduler counted stopped-but-unpopped timers too; the reference queue
+// preserves that for comparison, the fast path does not have them
+// outlive compaction.)
+func (s *Scheduler) Pending() int {
+	if s.ref != nil {
+		return s.ref.len()
+	}
+	return len(s.heap) - s.nstopped
+}
 
 // NextEventTime returns the timestamp of the earliest pending event and
-// whether one exists.
+// whether one exists. It is side-effect-free with respect to the firing
+// order: the only mutation is sweeping already-stopped timers off the
+// top of the queue (back to the freelist).
 func (s *Scheduler) NextEventTime() (Time, bool) {
-	for s.queue.Len() > 0 {
-		if t := s.queue[0]; !t.stopped {
-			return t.at, true
-		}
-		heap.Pop(&s.queue)
+	if t := s.peek(); t != nil {
+		return t.at, true
 	}
 	return 0, false
+}
+
+// --- typed 4-ary min-heap ----------------------------------------------
+
+// timerLess orders by (at, seq): earliest first, FIFO among equal
+// timestamps. seq never repeats within a scheduler, so the order is
+// total and firing is fully deterministic.
+func timerLess(a, b *Timer) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+func (s *Scheduler) heapPush(t *Timer) {
+	t.index = int32(len(s.heap))
+	s.heap = append(s.heap, t)
+	s.siftUp(int(t.index))
+}
+
+func (s *Scheduler) heapPopMin() *Timer {
+	h := s.heap
+	t := h[0]
+	n := len(h) - 1
+	last := h[n]
+	h[n] = nil
+	s.heap = h[:n]
+	if n > 0 {
+		s.heap[0] = last
+		last.index = 0
+		s.siftDown(0)
+	}
+	t.index = -1
+	return t
+}
+
+func (s *Scheduler) siftUp(i int) {
+	h := s.heap
+	t := h[i]
+	for i > 0 {
+		p := (i - 1) / heapArity
+		if !timerLess(t, h[p]) {
+			break
+		}
+		h[i] = h[p]
+		h[i].index = int32(i)
+		i = p
+	}
+	h[i] = t
+	t.index = int32(i)
+}
+
+func (s *Scheduler) siftDown(i int) {
+	h := s.heap
+	n := len(h)
+	t := h[i]
+	for {
+		first := heapArity*i + 1
+		if first >= n {
+			break
+		}
+		best := first
+		end := first + heapArity
+		if end > n {
+			end = n
+		}
+		for c := first + 1; c < end; c++ {
+			if timerLess(h[c], h[best]) {
+				best = c
+			}
+		}
+		if !timerLess(h[best], t) {
+			break
+		}
+		h[i] = h[best]
+		h[i].index = int32(i)
+		i = best
+	}
+	h[i] = t
+	t.index = int32(i)
+}
+
+// compact sweeps stopped timers out of the heap into the freelist and
+// re-establishes the heap property in place (Floyd heapify, O(n)).
+// Relative order of the survivors is untouched: it is defined entirely
+// by (at, seq), which compaction does not modify.
+func (s *Scheduler) compact() {
+	live := s.heap[:0]
+	for _, t := range s.heap {
+		if t.stopped {
+			s.recycle(t)
+		} else {
+			live = append(live, t)
+		}
+	}
+	for i := len(live); i < len(s.heap); i++ {
+		s.heap[i] = nil
+	}
+	s.heap = live
+	s.nstopped = 0
+	for i, t := range live {
+		t.index = int32(i)
+	}
+	for i := (len(live) - 2) / heapArity; i >= 0; i-- {
+		s.siftDown(i)
+	}
 }

@@ -1,0 +1,263 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// checkHeap validates the 4-ary heap invariant and the index bookkeeping,
+// and that nstopped matches the stopped timers actually in the heap.
+func checkHeap(t *testing.T, s *Scheduler) {
+	t.Helper()
+	stopped := 0
+	for i, tm := range s.heap {
+		if int(tm.index) != i {
+			t.Fatalf("heap[%d].index = %d", i, tm.index)
+		}
+		if tm.stopped {
+			stopped++
+		}
+		if i > 0 {
+			p := (i - 1) / heapArity
+			if timerLess(tm, s.heap[p]) {
+				t.Fatalf("heap violation: heap[%d]=(%v,%d) < parent heap[%d]=(%v,%d)",
+					i, tm.at, tm.seq, p, s.heap[p].at, s.heap[p].seq)
+			}
+		}
+	}
+	if stopped != s.nstopped {
+		t.Fatalf("nstopped = %d, heap holds %d stopped timers", s.nstopped, stopped)
+	}
+}
+
+// The regression test for unbounded Stop() retention: a long campaign
+// arming and cancelling a million retransmit timers must keep both the
+// queue and Pending() bounded, with cancelled nodes recycled rather than
+// accumulated.
+func TestStoppedTimersCompacted(t *testing.T) {
+	s := NewScheduler(1)
+	sentinel := s.At(Time(2*Hour), func() {})
+	const n = 1_000_000
+	for i := 0; i < n; i++ {
+		h := s.After(time.Hour, func() {})
+		if !h.Stop() {
+			t.Fatal("Stop on a fresh timer reported false")
+		}
+	}
+	if got := len(s.heap); got > 2*compactMin {
+		t.Errorf("heap length after %d arm/stop cycles = %d, want <= %d", n, got, 2*compactMin)
+	}
+	if got := s.Pending(); got != 1 {
+		t.Errorf("Pending = %d, want 1 (the sentinel)", got)
+	}
+	if got := len(s.free); got > 2*compactMin {
+		t.Errorf("freelist grew to %d nodes; recycling is not reusing them", got)
+	}
+	if !sentinel.Pending() {
+		t.Error("sentinel lost across compactions")
+	}
+	checkHeap(t, s)
+}
+
+// NextEventTime must not perturb the firing order of live events, and
+// the stopped timers it sweeps off the top must return to the freelist.
+func TestNextEventTimeSideEffectFree(t *testing.T) {
+	fires := func(probe bool) []Time {
+		s := NewScheduler(1)
+		var got []Time
+		fn := func() { got = append(got, s.Now()) }
+		var handles []TimerHandle
+		r := rand.New(rand.NewSource(99))
+		for i := 0; i < 200; i++ {
+			handles = append(handles, s.At(Time(r.Intn(50))*Time(Millisecond), fn))
+		}
+		for i := 0; i < len(handles); i += 3 {
+			handles[i].Stop()
+		}
+		if probe {
+			for i := 0; i < 100; i++ {
+				s.NextEventTime()
+			}
+		}
+		s.Run()
+		return got
+	}
+	plain, probed := fires(false), fires(true)
+	if len(plain) != len(probed) {
+		t.Fatalf("probing NextEventTime changed fire count: %d vs %d", len(plain), len(probed))
+	}
+	for i := range plain {
+		if plain[i] != probed[i] {
+			t.Fatalf("fire %d at %v with probing, %v without", i, probed[i], plain[i])
+		}
+	}
+
+	// Sweeping a stopped head must recycle it.
+	s := NewScheduler(1)
+	early := s.At(Time(Second), func() {})
+	s.At(Time(2*Second), func() {})
+	early.Stop()
+	if at, ok := s.NextEventTime(); !ok || at != Time(2*Second) {
+		t.Fatalf("NextEventTime = %v,%v want 2s,true", at, ok)
+	}
+	if len(s.free) != 1 {
+		t.Errorf("swept stopped timer not recycled: freelist = %d", len(s.free))
+	}
+}
+
+// FIFO-among-equal-timestamps property: random bursts of same-instant
+// events must fire in schedule order, interleaved correctly with the
+// other bursts.
+func TestSchedulerFIFOBurstProperty(t *testing.T) {
+	for trial := 0; trial < 20; trial++ {
+		r := rand.New(rand.NewSource(int64(1000 + trial)))
+		s := NewScheduler(1)
+		type tag struct {
+			at  Time
+			ord int // global schedule order
+		}
+		var want []tag
+		var got []tag
+		ord := 0
+		for burst := 0; burst < 30; burst++ {
+			at := Time(r.Intn(10)) * Time(Millisecond) // few distinct times => many collisions
+			for k := 0; k < 1+r.Intn(8); k++ {
+				tg := tag{at: at, ord: ord}
+				ord++
+				want = append(want, tg)
+				s.At(at, func() { got = append(got, tg) })
+			}
+		}
+		// Expected: stable sort by time, schedule order within a time.
+		for i := 1; i < len(want); i++ {
+			for j := i; j > 0 && (want[j].at < want[j-1].at); j-- {
+				want[j], want[j-1] = want[j-1], want[j]
+			}
+		}
+		s.Run()
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: fired %d of %d events", trial, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d: fire %d = %+v, want %+v", trial, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// Fuzz-style invariant check: after every random Push/Stop/Step the
+// 4-ary heap must stay a valid min-heap with correct indices.
+func TestSchedulerHeapInvariantFuzz(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	s := NewScheduler(1)
+	var handles []TimerHandle
+	nop := func() {}
+	for op := 0; op < 20000; op++ {
+		switch r.Intn(4) {
+		case 0, 1: // push (biased so the queue actually grows)
+			h := s.At(s.Now()+Time(r.Intn(1000)), nop)
+			handles = append(handles, h)
+		case 2: // stop a random handle (possibly stale — must be safe)
+			if len(handles) > 0 {
+				handles[r.Intn(len(handles))].Stop()
+			}
+		case 3: // fire the earliest
+			s.Step()
+		}
+		checkHeap(t, s)
+	}
+	// Drain; every remaining live event fires in order.
+	last := Time(-1)
+	for s.Step() {
+		if s.Now() < last {
+			t.Fatalf("time went backwards: %v after %v", s.Now(), last)
+		}
+		last = s.Now()
+		checkHeap(t, s)
+	}
+}
+
+// A stale handle from a fired timer must not be able to stop the
+// recycled node's next life.
+func TestTimerHandleGenerationSafety(t *testing.T) {
+	s := NewScheduler(1)
+	fired := false
+	h1 := s.After(time.Millisecond, func() {})
+	s.Run()
+	// The freelist now holds h1's node; the next After reuses it.
+	h2 := s.After(time.Millisecond, func() { fired = true })
+	if h2.t != h1.t {
+		t.Fatal("test premise broken: node was not recycled")
+	}
+	if h1.Stop() {
+		t.Fatal("stale handle stopped a recycled timer")
+	}
+	if h1.Pending() {
+		t.Fatal("stale handle reports pending")
+	}
+	if h1.At() != 0 {
+		t.Fatal("stale handle reports a fire time")
+	}
+	s.Run()
+	if !fired {
+		t.Fatal("recycled timer did not fire")
+	}
+}
+
+// randomWorkload drives one scheduler through a deterministic mix of
+// scheduling, nested scheduling, stops and RunUntil windows, recording
+// every fire as (now, id). Both implementations must produce the same
+// trace and the same Processed count.
+func randomWorkload(s *Scheduler, seed int64) (trace []int64, processed uint64) {
+	r := rand.New(rand.NewSource(seed))
+	id := 0
+	var handles []TimerHandle
+	var schedule func(depth int, at Time)
+	schedule = func(depth int, at Time) {
+		myID := id
+		id++
+		h := s.At(at, func() {
+			trace = append(trace, int64(s.Now()), int64(myID))
+			if depth < 3 && r.Intn(3) == 0 {
+				schedule(depth+1, s.Now()+Time(r.Intn(5))*Time(Millisecond))
+			}
+			if len(handles) > 0 && r.Intn(4) == 0 {
+				handles[r.Intn(len(handles))].Stop()
+			}
+		})
+		handles = append(handles, h)
+	}
+	for i := 0; i < 300; i++ {
+		schedule(0, Time(r.Intn(100))*Time(Millisecond))
+	}
+	for i := 0; i < len(handles); i += 5 {
+		handles[i].Stop()
+	}
+	s.RunUntil(Time(40 * Millisecond))
+	s.NextEventTime()
+	s.RunUntil(Time(80 * Millisecond))
+	s.Run()
+	return trace, s.Processed
+}
+
+// The fast scheduler and the reference container/heap scheduler must be
+// observationally identical: same fire trace, same event count.
+func TestFastMatchesReferenceScheduler(t *testing.T) {
+	for _, seed := range []int64{1, 7, 42} {
+		fastTrace, fastN := randomWorkload(NewScheduler(uint64(seed)), seed)
+		refTrace, refN := randomWorkload(NewReferenceScheduler(uint64(seed)), seed)
+		if fastN != refN {
+			t.Fatalf("seed %d: processed %d events fast, %d reference", seed, fastN, refN)
+		}
+		if len(fastTrace) != len(refTrace) {
+			t.Fatalf("seed %d: trace lengths differ: %d vs %d", seed, len(fastTrace), len(refTrace))
+		}
+		for i := range fastTrace {
+			if fastTrace[i] != refTrace[i] {
+				t.Fatalf("seed %d: trace diverges at %d: %d vs %d", seed, i, fastTrace[i], refTrace[i])
+			}
+		}
+	}
+}

@@ -1,0 +1,66 @@
+package sim
+
+import "container/heap"
+
+// This file preserves the seed event queue — container/heap over a boxed
+// []*Timer — as the reference implementation the allocation-free 4-ary
+// heap is proven against. NewReferenceScheduler builds a Scheduler on
+// it; the equivalence suite in internal/core runs full quick campaigns
+// on both and asserts bit-identical metrics, the way internal/leo keeps
+// Terminal.ReferenceAssignmentAt in-tree for the geometry fast path.
+
+// eventQueue is the seed heap.Interface implementation. Every Push boxes
+// through any, every comparison goes through the interface, and stopped
+// timers are retained until they reach the top — exactly the costs the
+// typed heap removes.
+type eventQueue []*Timer
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq // FIFO among equal timestamps
+}
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = int32(i)
+	q[j].index = int32(j)
+}
+func (q *eventQueue) Push(x any) {
+	t := x.(*Timer)
+	t.index = int32(len(*q))
+	*q = append(*q, t)
+}
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	t := old[n-1]
+	old[n-1] = nil
+	t.index = -1
+	*q = old[:n-1]
+	return t
+}
+
+// refQueue adapts eventQueue to the Scheduler's push/peek/popMin
+// internals. Stopped timers discarded by peek are dropped for the
+// garbage collector, never recycled — the seed's behavior.
+type refQueue struct {
+	q eventQueue
+}
+
+func (r *refQueue) push(t *Timer) { heap.Push(&r.q, t) }
+
+func (r *refQueue) peek() *Timer {
+	for r.q.Len() > 0 {
+		if t := r.q[0]; !t.stopped {
+			return t
+		}
+		heap.Pop(&r.q)
+	}
+	return nil
+}
+
+func (r *refQueue) popMin() *Timer { return heap.Pop(&r.q).(*Timer) }
+
+func (r *refQueue) len() int { return r.q.Len() }

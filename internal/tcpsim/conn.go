@@ -129,8 +129,8 @@ type Conn struct {
 	ccc              cc.CongestionController
 	rtt              cc.RTTEstimator
 	rtoCount         int
-	rtoTimer         *sim.Timer
-	synTimer         *sim.Timer
+	rtoTimer         sim.TimerHandle
+	synTimer         sim.TimerHandle
 	lastRecvTS       sim.Time
 	lastRecvTSRetx   bool
 
@@ -143,7 +143,7 @@ type Conn struct {
 	rcvWnd         uint64
 	bytesSinceTune uint64
 	segsSinceAck   int
-	ackTimer       *sim.Timer
+	ackTimer       sim.TimerHandle
 
 	// Application messages.
 	msgsOut     []AppMsg       // pending, sorted by offset
@@ -282,22 +282,24 @@ func (c *Conn) sendSYN() {
 	}
 	c.send(&Segment{Flags: flags, Wnd: c.rcvWnd})
 	backoff := time.Second << uint(min(c.rtoCount, 6))
-	c.synTimer = c.sched.After(backoff, func() {
-		needsRetry := c.state == StateSYNSent || c.state == StateSYNRcvd ||
-			(c.cfg.FastOpen && c.isClient && !c.peerSynAcked && c.state == StateEstablished)
-		if !needsRetry {
-			return
-		}
-		if c.rtoCount >= 6 {
-			// Handshake gives up (Linux tcp_syn_retries): frees state
-			// left behind by half-open probes.
-			c.teardown()
-			return
-		}
-		c.rtoCount++
-		c.Stats.RTOs++
-		c.sendSYN()
-	})
+	c.synTimer = c.sched.AfterFunc(backoff, connSynRetry, c)
+}
+
+func (c *Conn) onSynRetry() {
+	needsRetry := c.state == StateSYNSent || c.state == StateSYNRcvd ||
+		(c.cfg.FastOpen && c.isClient && !c.peerSynAcked && c.state == StateEstablished)
+	if !needsRetry {
+		return
+	}
+	if c.rtoCount >= 6 {
+		// Handshake gives up (Linux tcp_syn_retries): frees state
+		// left behind by half-open probes.
+		c.teardown()
+		return
+	}
+	c.rtoCount++
+	c.Stats.RTOs++
+	c.sendSYN()
 }
 
 // Write queues n application bytes for sending.
@@ -364,11 +366,9 @@ func (c *Conn) Abort() {
 
 func (c *Conn) teardown() {
 	c.state = StateClosed
-	for _, t := range []*sim.Timer{c.rtoTimer, c.synTimer, c.ackTimer} {
-		if t != nil {
-			t.Stop()
-		}
-	}
+	c.rtoTimer.Stop()
+	c.synTimer.Stop()
+	c.ackTimer.Stop()
 	if c.closeHook != nil {
 		c.closeHook()
 	}
@@ -403,7 +403,7 @@ func (c *Conn) tcpEstablish() {
 	}
 	c.state = StateEstablished
 	c.TCPEstablished = c.sched.Now()
-	if c.synTimer != nil && (!c.cfg.FastOpen || !c.isClient || c.peerSynAcked) {
+	if !c.cfg.FastOpen || !c.isClient || c.peerSynAcked {
 		c.synTimer.Stop()
 	}
 	c.rtoCount = 0
@@ -624,22 +624,20 @@ func (c *Conn) trackTx(start, end uint64, retx bool) {
 // restartRTO rearms it unconditionally (on cumulative-ACK advance, per
 // RFC 6298 §5.3).
 func (c *Conn) armRTO() {
-	if c.rtoTimer != nil && c.rtoTimer.Pending() {
+	if c.rtoTimer.Pending() {
 		return
 	}
 	c.restartRTO()
 }
 
 func (c *Conn) restartRTO() {
-	if c.rtoTimer != nil {
-		c.rtoTimer.Stop()
-	}
+	c.rtoTimer.Stop()
 	rto := c.rtt.PTO(0)
 	if rto < c.cfg.MinRTO {
 		rto = c.cfg.MinRTO
 	}
 	rto <<= uint(min(c.rtoCount, 8))
-	c.rtoTimer = c.sched.After(rto, c.onRTO)
+	c.rtoTimer = c.sched.AfterFunc(rto, connRTO, c)
 }
 
 func (c *Conn) onRTO() {
@@ -709,9 +707,7 @@ func (c *Conn) HandleSegment(pkt *netem.Packet) {
 		// acknowledge so the passive side leaves SYN-RCVD.
 		if c.state == StateSYNSent || (c.cfg.FastOpen && c.isClient && !c.peerSynAcked) {
 			c.peerSynAcked = true
-			if c.synTimer != nil {
-				c.synTimer.Stop()
-			}
+			c.synTimer.Stop()
 			c.peerWnd = seg.Wnd
 			c.send(&Segment{Flags: FlagACK, Ack: c.ackValue(), Wnd: c.rcvWnd})
 			c.tcpEstablish()
@@ -832,7 +828,7 @@ func (c *Conn) processAck(seg *Segment, now sim.Time) {
 		c.ccc.OnCongestionEvent(now, r.sentAt)
 	}
 
-	if c.outstanding() == 0 && c.rtoTimer != nil {
+	if c.outstanding() == 0 {
 		c.rtoTimer.Stop()
 	}
 }
@@ -887,8 +883,8 @@ func (c *Conn) processData(seg *Segment) {
 	c.lastRecvTSRetx = seg.Retx
 	if !inOrder || c.segsSinceAck >= 2 || finNow {
 		c.sendAck()
-	} else if c.ackTimer == nil || !c.ackTimer.Pending() {
-		c.ackTimer = c.sched.After(c.cfg.DelayedAck, c.sendAck)
+	} else if !c.ackTimer.Pending() {
+		c.ackTimer = c.sched.AfterFunc(c.cfg.DelayedAck, connSendAck, c)
 	}
 }
 
@@ -960,9 +956,7 @@ func (c *Conn) sendAck() {
 		return
 	}
 	c.segsSinceAck = 0
-	if c.ackTimer != nil {
-		c.ackTimer.Stop()
-	}
+	c.ackTimer.Stop()
 	seg := &Segment{Flags: FlagACK, Ack: c.ackValue(), Wnd: c.advertisedWnd(), Sack: c.recvRanges.blocks(8)}
 	if !c.lastRecvTSRetx {
 		seg.Echo = c.lastRecvTS
@@ -977,11 +971,13 @@ func (c *Conn) maybeFinish() {
 	if !c.finAcked || !c.finDelivered {
 		return
 	}
-	c.sched.After(3*time.Second, func() {
-		if c.state == StateEstablished {
-			c.teardown()
-		}
-	})
+	c.sched.AfterFunc(3*time.Second, connTimeWait, c)
+}
+
+func (c *Conn) onTimeWait() {
+	if c.state == StateEstablished {
+		c.teardown()
+	}
 }
 
 // Completed reports whether both directions finished cleanly (our FIN
@@ -1033,3 +1029,12 @@ func (c *Conn) FinAcked() bool { return c.finAcked }
 // FinReceived reports whether the peer's FIN was delivered in order
 // (receiver-side completion).
 func (c *Conn) FinReceived() bool { return c.finDelivered }
+
+// Scheduler trampolines: package-level sim.EventFunc adapters so the
+// per-segment timers (RTO re-arm, delayed ACK) and the rarer handshake
+// and TIME_WAIT timers schedule without allocating a bound-method
+// closure per arming.
+func connRTO(arg any)      { arg.(*Conn).onRTO() }
+func connSendAck(arg any)  { arg.(*Conn).sendAck() }
+func connSynRetry(arg any) { arg.(*Conn).onSynRetry() }
+func connTimeWait(arg any) { arg.(*Conn).onTimeWait() }

@@ -1,6 +1,7 @@
 package web
 
 import (
+	"sort"
 	"time"
 
 	"starlinkperf/internal/netem"
@@ -80,7 +81,7 @@ func (b *Browser) Visit(site *Site, done func(VisitResult)) {
 	res := VisitResult{Site: site}
 	conns := make(map[int]*visitConn)
 	finished := false
-	var deadlineTimer *sim.Timer
+	var deadlineTimer sim.TimerHandle
 	finish := func(failed bool) {
 		if finished {
 			return
@@ -88,8 +89,16 @@ func (b *Browser) Visit(site *Site, done func(VisitResult)) {
 		finished = true
 		res.Failed = failed
 		deadlineTimer.Stop()
-		for _, vc := range conns {
-			if vc.conn.State() != tcpsim.StateClosed {
+		// Abort in domain order: Abort() schedules RST events, and map
+		// iteration order would make their sequence — and thus every
+		// event after them — vary between otherwise identical runs.
+		domains := make([]int, 0, len(conns))
+		for d := range conns {
+			domains = append(domains, d)
+		}
+		sort.Ints(domains)
+		for _, d := range domains {
+			if vc := conns[d]; vc.conn.State() != tcpsim.StateClosed {
 				vc.conn.Abort()
 			}
 		}
