@@ -24,9 +24,21 @@ echo "== go test -race"
 go test -race ./...
 
 echo "== starlink-bench smoke (quick campaigns + bench.json schema)"
-bench_json=$(mktemp /tmp/bench_ci.XXXXXX.json)
-trap 'rm -f "$bench_json"' EXIT
-go run ./cmd/starlink-bench -quick -workers 2 -bench.json "$bench_json" >/dev/null
-go run ./cmd/starlink-bench -validate "$bench_json"
+ci_tmp=$(mktemp -d /tmp/bench_ci.XXXXXX)
+trap 'rm -rf "$ci_tmp"' EXIT
+go run ./cmd/starlink-bench -quick -workers 2 -bench.json "$ci_tmp/bench.json" >/dev/null
+go run ./cmd/starlink-bench -validate "$ci_tmp/bench.json"
+
+echo "== observability determinism (double run, byte-diffed exports)"
+# Same quick campaign twice with different worker counts: the metrics
+# registry and the binary event trace must come out byte-identical, or
+# the sim has a nondeterminism leak.
+go run ./cmd/starlink-bench -quick -workers 1 \
+    -trace "$ci_tmp/trace1.bin" -metrics.json "$ci_tmp/metrics1.json" >"$ci_tmp/figures1.txt"
+go run ./cmd/starlink-bench -quick -workers 8 \
+    -trace "$ci_tmp/trace2.bin" -metrics.json "$ci_tmp/metrics2.json" >"$ci_tmp/figures2.txt"
+cmp "$ci_tmp/trace1.bin" "$ci_tmp/trace2.bin"
+cmp "$ci_tmp/metrics1.json" "$ci_tmp/metrics2.json"
+cmp "$ci_tmp/figures1.txt" "$ci_tmp/figures2.txt"
 
 echo "CI: all green"

@@ -24,6 +24,7 @@ import (
 	"starlinkperf/internal/geo"
 	"starlinkperf/internal/leo"
 	"starlinkperf/internal/measure"
+	"starlinkperf/internal/obs"
 	"starlinkperf/internal/sim"
 	"starlinkperf/internal/web"
 	"starlinkperf/internal/wehe"
@@ -83,6 +84,8 @@ func run(args []string, stdout, stderr io.Writer) error {
 	workers := fs.Int("workers", 0, "parallel campaign workers (0 = GOMAXPROCS)")
 	quick := fs.Bool("quick", false, "tiny smoke-sized campaigns for CI (ignores -scale)")
 	benchJSON := fs.String("bench.json", "", "write headline metrics as JSON to this file")
+	tracePath := fs.String("trace", "", "write the event trace here (.jsonl extension selects JSON Lines, anything else the OTR1 binary format)")
+	metricsJSON := fs.String("metrics.json", "", "write the per-shard + merged metrics registry as JSON to this file")
 	validate := fs.String("validate", "", "validate an existing bench.json against the schema and exit")
 	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile of the campaigns to this file")
 	memProfile := fs.String("memprofile", "", "write a post-run heap profile to this file")
@@ -205,9 +208,17 @@ func run(args []string, stdout, stderr io.Writer) error {
 			return nil
 		}},
 	}
+	// Observability is collected only when something will consume it —
+	// an export flag or the bench report — so plain runs keep the
+	// disabled single-branch fast path.
+	var collector *obs.Collector
+	if *tracePath != "" || *metricsJSON != "" || *benchJSON != "" {
+		collector = obs.NewCollector()
+	}
 	opts := core.Options{
 		Workers: *workers,
 		Seed:    *seed,
+		Obs:     collector,
 		Progress: func(done, total int) {
 			fmt.Fprintf(stderr, "campaigns: %d/%d done\n", done, total)
 		},
@@ -267,8 +278,26 @@ func run(args []string, stdout, stderr io.Writer) error {
 		return err
 	}
 
+	if *tracePath != "" {
+		blob := collector.ExportTraceJSONL()
+		if !strings.HasSuffix(*tracePath, ".jsonl") {
+			blob = collector.ExportTraceBinary()
+		}
+		if err := os.WriteFile(*tracePath, blob, 0o644); err != nil {
+			return fmt.Errorf("trace: %w", err)
+		}
+		fmt.Fprintf(stderr, "wrote %s (%d bytes)\n", *tracePath, len(blob))
+	}
+	if *metricsJSON != "" {
+		if err := os.WriteFile(*metricsJSON, collector.ExportMetricsJSON(), 0o644); err != nil {
+			return fmt.Errorf("metrics.json: %w", err)
+		}
+		fmt.Fprintf(stderr, "wrote %s\n", *metricsJSON)
+	}
+
 	if *benchJSON != "" {
 		rep := makeBenchReport(*scale, *quick, nw, *seed, wall, fig1, t2, fig5)
+		rep.Obs = collector.Snapshot()
 		blob, err := json.MarshalIndent(rep, "", "  ")
 		if err != nil {
 			return fmt.Errorf("bench.json: %w", err)
@@ -310,8 +339,13 @@ type benchReport struct {
 	Seed        uint64             `json:"seed"`
 	WallSeconds float64            `json:"wall_seconds"`
 	Metrics     map[string]float64 `json:"metrics"`
-	Geometry    geometryReport     `json:"geometry"`
-	Scheduler   schedulerReport    `json:"scheduler"`
+	// Obs is the merged observability registry flattened to name → value
+	// (counters as counts, gauges as maxima, histograms as .count/.sum).
+	// It is deterministic for a given (config, seed), so trajectory diffs
+	// across PRs stay meaningful.
+	Obs       map[string]float64 `json:"obs,omitempty"`
+	Geometry  geometryReport     `json:"geometry"`
+	Scheduler schedulerReport    `json:"scheduler"`
 }
 
 const benchSchema = "starlink-bench/v1"
@@ -556,6 +590,16 @@ func validateBenchJSON(path string) error {
 	} {
 		if _, ok := rep.Metrics[key]; !ok {
 			return fmt.Errorf("metrics[%q] missing", key)
+		}
+	}
+	// The obs section is optional (plain runs may skip collection), but
+	// when present it must carry the campaign's footprint: a run that
+	// sent no packets through an instrumented link produced nothing.
+	if rep.Obs != nil {
+		for _, key := range []string{"net.link.sent", "net.link.delivered", "probe.echo_sent"} {
+			if rep.Obs[key] <= 0 {
+				return fmt.Errorf("obs[%q] = %v, want > 0", key, rep.Obs[key])
+			}
 		}
 	}
 	g := rep.Geometry

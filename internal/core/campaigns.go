@@ -1,6 +1,7 @@
 package core
 
 import (
+	"sort"
 	"time"
 
 	"starlinkperf/internal/measure"
@@ -23,13 +24,20 @@ type LatencyData struct {
 }
 
 // EuropeanSeries merges the BE/NL/DE anchors into one series (Figure 2's
-// input).
+// input). The merge iterates anchors in sorted name order — ranging the
+// map directly made the sample order (and any export or tie-sensitive
+// consumer downstream) vary run to run.
 func (d *LatencyData) EuropeanSeries() *stats.Series {
+	names := make([]string, 0, len(d.PerAnchor))
+	for name := range d.PerAnchor {
+		names = append(names, name)
+	}
+	sort.Strings(names)
 	var out stats.Series
-	for name, ser := range d.PerAnchor {
+	for _, name := range names {
 		switch d.Regions[name] {
 		case "BE", "NL", "DE":
-			for _, smp := range ser.Samples() {
+			for _, smp := range d.PerAnchor[name].Samples() {
 				out.Add(smp.At, smp.Value)
 			}
 		}
@@ -51,6 +59,7 @@ func (tb *Testbed) RunLatencyCampaign(dur, interval time.Duration) *LatencyData 
 		byAddr[a.Node.Addr()] = a.Name
 	}
 	prober := measure.NewProber(tb.PCStarlink)
+	prober.Observe(tb.Obs)
 	end := tb.Sched.Now().Add(dur)
 	prober.Monitor(tb.AnchorAddrs(), interval, 3, end, func(r measure.PingResult) {
 		data.Sent++
@@ -273,6 +282,7 @@ func (tb *Testbed) vantage(t Tech) *netem.Node {
 func (tb *Testbed) RunSpeedtestCampaign(t Tech, n int, gap time.Duration) []measure.SpeedtestResult {
 	node := tb.vantage(t)
 	prober := measure.NewProber(node)
+	prober.Observe(tb.Obs)
 	cfg := tb.SpeedtestConfig()
 	var out []measure.SpeedtestResult
 	var runOne func(i int)
@@ -337,6 +347,7 @@ type MiddleboxAudit struct {
 func (tb *Testbed) RunMiddleboxAudit(t Tech) MiddleboxAudit {
 	node := tb.vantage(t)
 	prober := measure.NewProber(node)
+	prober.Observe(tb.Obs)
 	var audit MiddleboxAudit
 	prober.Tracebox(tb.UCLServer.Addr(), 24, func(hops []measure.TraceboxHop) {
 		audit.Hops = hops

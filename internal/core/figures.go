@@ -253,7 +253,16 @@ func MakeFigure6(visits map[string][]web.VisitResult) Figure6 {
 		Medians:    map[string][2]float64{},
 		Setup:      map[string]float64{},
 	}
-	for tech, vs := range visits {
+	// Iterate techs in sorted order: the per-tech stats are independent,
+	// but a fixed order keeps any future cross-tech accumulation (and
+	// float summation inside it) deterministic by construction.
+	techs := make([]string, 0, len(visits))
+	for tech := range visits {
+		techs = append(techs, tech)
+	}
+	sort.Strings(techs)
+	for _, tech := range techs {
+		vs := visits[tech]
 		var ol, si []float64
 		for _, v := range vs {
 			if v.Failed {

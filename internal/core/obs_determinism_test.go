@@ -1,0 +1,142 @@
+package core
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"starlinkperf/internal/obs"
+	"starlinkperf/internal/stats"
+	"starlinkperf/internal/web"
+)
+
+// These tests pin the observability layer's two contracts: its exports
+// are a pure function of (config, seed) — byte-identical across repeated
+// runs and across worker counts — and enabling it never perturbs the
+// simulation itself.
+
+func latencyWithObs(workers int) (*LatencyData, *obs.Collector) {
+	col := obs.NewCollector()
+	lat := RunLatencyCampaignParallel(DefaultConfig(), 3, 30*time.Minute, 5*time.Minute,
+		Options{Workers: workers, Obs: col})
+	return lat, col
+}
+
+func TestObsExportsByteIdenticalAcrossRunsAndWorkers(t *testing.T) {
+	_, one := latencyWithObs(1)
+	_, par := latencyWithObs(raceWorkers)
+	_, again := latencyWithObs(raceWorkers)
+
+	metrics := one.ExportMetricsJSON()
+	traceJSONL := one.ExportTraceJSONL()
+	traceBin := one.ExportTraceBinary()
+	if len(metrics) == 0 || len(traceJSONL) == 0 || len(traceBin) == 0 {
+		t.Fatalf("empty exports: metrics=%d traceJSONL=%d traceBin=%d bytes",
+			len(metrics), len(traceJSONL), len(traceBin))
+	}
+	for name, other := range map[string]*obs.Collector{"workers": par, "repeat": again} {
+		if !bytes.Equal(metrics, other.ExportMetricsJSON()) {
+			t.Errorf("%s: metrics JSON differs from the 1-worker run", name)
+		}
+		if !bytes.Equal(traceJSONL, other.ExportTraceJSONL()) {
+			t.Errorf("%s: trace JSONL differs from the 1-worker run", name)
+		}
+		if !bytes.Equal(traceBin, other.ExportTraceBinary()) {
+			t.Errorf("%s: binary trace differs from the 1-worker run", name)
+		}
+	}
+	// The campaign must have actually produced events: probes were sent
+	// and the link counters saw them.
+	snap := one.Snapshot()
+	if snap["probe.echo_sent"] == 0 || snap["net.link.sent"] == 0 {
+		t.Errorf("campaign left no metric footprint: %v", snap)
+	}
+}
+
+// TestObsDoesNotPerturbCampaign is the "one branch when disabled, zero
+// behaviour change when enabled" guarantee: the rendered figures of an
+// instrumented run match an uninstrumented one byte for byte.
+func TestObsDoesNotPerturbCampaign(t *testing.T) {
+	render := func(col *obs.Collector) string {
+		lat := RunLatencyCampaignParallel(DefaultConfig(), 2, 30*time.Minute, 5*time.Minute,
+			Options{Workers: 1, Obs: col})
+		var out strings.Builder
+		tb := NewTestbed(DefaultConfig()) // anchor order only
+		RenderFigure1(&out, Figure1(lat, tb.Anchors))
+		RenderFigure2(&out, Figure2(lat))
+		return out.String()
+	}
+	plain := render(nil)
+	observed := render(obs.NewCollector())
+	if plain != observed {
+		t.Errorf("enabling observability changed campaign output:\n--- without\n%s\n--- with\n%s",
+			plain, observed)
+	}
+}
+
+// TestEuropeanSeriesStableAcrossConstructions is the regression test for
+// the map-iteration-order bug: EuropeanSeries merged d.PerAnchor in map
+// range order, so equal LatencyData values could yield differently
+// ordered series. Fifty constructions with rotated insertion order must
+// all merge identically.
+func TestEuropeanSeriesStableAcrossConstructions(t *testing.T) {
+	anchors := []struct {
+		name, region string
+	}{
+		{"ams1", "NL"}, {"bru1", "BE"}, {"fra1", "DE"}, {"fra2", "DE"},
+		{"lon1", "UK"}, {"par1", "FR"}, {"ber1", "DE"}, {"rot1", "NL"},
+	}
+	build := func(rot int) *LatencyData {
+		d := &LatencyData{
+			PerAnchor: make(map[string]*stats.Series),
+			Regions:   make(map[string]string),
+		}
+		for i := range anchors {
+			a := anchors[(i+rot)%len(anchors)]
+			ser := &stats.Series{}
+			for s := 0; s < 5; s++ {
+				// Deliberately identical timestamps across anchors: ties
+				// are where range-order leaks into the merged series.
+				ser.Add(time.Duration(s)*time.Minute, float64(len(a.name))+float64(s))
+			}
+			d.PerAnchor[a.name] = ser
+			d.Regions[a.name] = a.region
+		}
+		return d
+	}
+	want := build(0).EuropeanSeries().Samples()
+	if len(want) != 6*5 {
+		t.Fatalf("merged %d samples, want 30 (6 EU anchors x 5)", len(want))
+	}
+	for i := 1; i < 50; i++ {
+		got := build(i).EuropeanSeries().Samples()
+		if !reflect.DeepEqual(want, got) {
+			t.Fatalf("construction %d merged a different series", i)
+		}
+	}
+}
+
+// TestMakeFigure6OrderStable does the same for the QoE figure assembly:
+// equal visit maps must render identically no matter the map's internal
+// order.
+func TestMakeFigure6OrderStable(t *testing.T) {
+	tb := NewTestbed(DefaultConfig())
+	vs := tb.runWebVisits(TechWired, 0, 2, time.Second)
+	if len(vs) == 0 {
+		t.Fatal("no web visits completed")
+	}
+	render := func() string {
+		f := MakeFigure6(map[string][]web.VisitResult{"starlink": vs, "wired": vs, "satcom": vs})
+		var out strings.Builder
+		RenderFigure6(&out, f)
+		return out.String()
+	}
+	want := render()
+	for i := 0; i < 20; i++ {
+		if got := render(); got != want {
+			t.Fatalf("render %d differs:\n%s\nvs\n%s", i, got, want)
+		}
+	}
+}

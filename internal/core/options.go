@@ -1,6 +1,10 @@
 package core
 
-import "runtime"
+import (
+	"runtime"
+
+	"starlinkperf/internal/obs"
+)
 
 // Options is the shared knob set of the parallel campaign runners: every
 // cmd exposes the same worker-count, seed and progress semantics by
@@ -20,6 +24,11 @@ type Options struct {
 	// the number of finished shards and the total. Calls are serialized;
 	// done is strictly increasing from 1 to total.
 	Progress func(done, total int)
+	// Obs, when non-nil, turns on observability for every shard testbed
+	// and collects the per-shard sinks. Shards register under
+	// zero-padded "<family>/<shard>" source names, so the collector's
+	// sorted exports are invariant to worker count and completion order.
+	Obs *obs.Collector
 }
 
 // DefaultOptions returns the options every cmd starts from: all

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -83,12 +84,29 @@ func shardConfig(cfg Config, seed uint64) Config {
 	return cfg
 }
 
+// shardTestbed builds the testbed for one shard of the named family.
+// When opts carries a collector, the shard's config enables
+// observability and its sink registers as "<family>/<shard>" with a
+// zero-padded index, so lexicographic source order equals shard order —
+// the property that makes the collector's exports worker-invariant.
+func shardTestbed(cfg Config, seed uint64, opts Options, family string, shard int) *Testbed {
+	cfg = shardConfig(cfg, seed)
+	if opts.Obs != nil {
+		cfg.Obs.Enabled = true
+	}
+	tb := NewTestbed(cfg)
+	if opts.Obs != nil {
+		opts.Obs.Add(fmt.Sprintf("%s/%04d", family, shard), tb.Obs)
+	}
+	return tb
+}
+
 // RunLatencyCampaignParallel runs reps independent latency campaigns of
 // dur each and merges them into one LatencyData whose timeline
 // concatenates the repetitions (shard i's samples are offset by i*dur).
 func RunLatencyCampaignParallel(cfg Config, reps int, dur, interval time.Duration, opts Options) *LatencyData {
 	shards := RunShards(opts, opts.baseSeed(cfg), "latency", reps, func(i int, seed uint64) *LatencyData {
-		tb := NewTestbed(shardConfig(cfg, seed))
+		tb := shardTestbed(cfg, seed, opts, "latency", i)
 		return tb.RunLatencyCampaign(dur, interval)
 	})
 	return MergeLatency(shards, dur)
@@ -158,7 +176,7 @@ func shardCounts(n, per int) []int {
 func RunSpeedtestCampaignParallel(cfg Config, t Tech, n int, gap time.Duration, opts Options) []measure.SpeedtestResult {
 	counts := shardCounts(n, speedtestShardTests)
 	shards := RunShards(opts, opts.baseSeed(cfg), "speedtest/"+t.String(), len(counts), func(i int, seed uint64) []measure.SpeedtestResult {
-		tb := NewTestbed(shardConfig(cfg, seed))
+		tb := shardTestbed(cfg, seed, opts, "speedtest/"+t.String(), i)
 		return tb.RunSpeedtestCampaign(t, counts[i], gap)
 	})
 	return flatten(shards)
@@ -171,7 +189,7 @@ func RunSpeedtestCampaignParallel(cfg Config, t Tech, n int, gap time.Duration, 
 func RunWebCampaignParallel(cfg Config, t Tech, nVisits int, gap time.Duration, opts Options) []web.VisitResult {
 	counts := shardCounts(nVisits, webShardVisits)
 	shards := RunShards(opts, opts.baseSeed(cfg), "web/"+t.String(), len(counts), func(i int, seed uint64) []web.VisitResult {
-		tb := NewTestbed(shardConfig(cfg, seed))
+		tb := shardTestbed(cfg, seed, opts, "web/"+t.String(), i)
 		return tb.runWebVisits(t, i*webShardVisits, counts[i], gap)
 	})
 	return flatten(shards)
@@ -182,7 +200,7 @@ func RunWebCampaignParallel(cfg Config, t Tech, nVisits int, gap time.Duration, 
 func RunH3CampaignParallel(cfg Config, n, size int, download bool, gap time.Duration, opts Options) *H3Campaign {
 	counts := shardCounts(n, h3ShardTransfers)
 	shards := RunShards(opts, opts.baseSeed(cfg), "h3/"+dirName(download), len(counts), func(i int, seed uint64) *H3Campaign {
-		tb := NewTestbed(shardConfig(cfg, seed))
+		tb := shardTestbed(cfg, seed, opts, "h3/"+dirName(download), i)
 		return tb.RunH3Campaign(counts[i], size, download, gap)
 	})
 	out := &H3Campaign{Download: download}
@@ -197,7 +215,7 @@ func RunH3CampaignParallel(cfg Config, n, size int, download bool, gap time.Dura
 func RunMessagesCampaignParallel(cfg Config, n int, sessionDur time.Duration, download bool, opts Options) *MsgCampaign {
 	counts := shardCounts(n, msgShardSessions)
 	shards := RunShards(opts, opts.baseSeed(cfg), "messages/"+dirName(download), len(counts), func(i int, seed uint64) *MsgCampaign {
-		tb := NewTestbed(shardConfig(cfg, seed))
+		tb := shardTestbed(cfg, seed, opts, "messages/"+dirName(download), i)
 		return tb.RunMessagesCampaign(counts[i], sessionDur, download)
 	})
 	out := &MsgCampaign{Download: download}
@@ -252,7 +270,7 @@ func RunSweep(jobs []SweepJob, opts Options) []SweepResult {
 	forEachShard(opts, len(jobs), func(i int) {
 		job := jobs[i]
 		seed := sim.DeriveSeed(opts.baseSeed(job.Cfg), "sweep/"+job.Name, i)
-		tb := NewTestbed(shardConfig(job.Cfg, seed))
+		tb := shardTestbed(job.Cfg, seed, opts, "sweep/"+job.Name, i)
 		out[i] = SweepResult{Name: job.Name, Seed: seed, Value: job.Run(tb)}
 	})
 	return out

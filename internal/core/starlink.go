@@ -135,22 +135,29 @@ func (a *starlinkAccess) delay(at sim.Time) time.Duration {
 	return d
 }
 
-// down reports whether the access link is inside an outage at an
-// instant: per-epoch hashed handover micro-outages and rare long ones.
-func (a *starlinkAccess) down(at sim.Time) bool {
-	ep := a.epochOf(at)
-	into := time.Duration(int64(at) - int64(ep)*int64(a.params.Epoch))
+// outageWindow is one outage interval within an epoch, as offsets from
+// the epoch start. long distinguishes the paper's rare >1 s events from
+// handover micro-outages.
+type outageWindow struct {
+	start, dur time.Duration
+	long       bool
+}
 
-	// Handover micro-outage at the epoch start.
+// epochOutages derives the outage windows of an epoch from the hashed
+// per-epoch randomness: an optional handover micro-outage at the epoch
+// start and an optional rare long outage somewhere inside it. It is the
+// single computation behind both the per-packet down() predicate and the
+// observability epoch sampler, so the trace reports exactly the windows
+// the link enforces. Returns by value (at most two windows) so the
+// per-packet path stays allocation-free.
+func (a *starlinkAccess) epochOutages(ep uint64) (wins [2]outageWindow, n int) {
 	r1, r2 := epochRand(a.seed, ep, 0x48)
 	if r1 < a.params.HandoverOutageProb {
 		dur := a.params.HandoverOutageMin +
 			time.Duration(r2*float64(a.params.HandoverOutageMax-a.params.HandoverOutageMin))
-		if into < dur {
-			return true
-		}
+		wins[n] = outageWindow{start: 0, dur: dur}
+		n++
 	}
-	// Rare long outage somewhere in the epoch.
 	r3, r4 := epochRand(a.seed, ep, 0x10)
 	if r3 < a.params.LongOutageProb {
 		dur := a.params.LongOutageMin +
@@ -159,7 +166,20 @@ func (a *starlinkAccess) down(at sim.Time) bool {
 			dur = a.params.Epoch
 		}
 		start := time.Duration(r4 * float64(a.params.Epoch-dur))
-		if into >= start && into < start+dur {
+		wins[n] = outageWindow{start: start, dur: dur, long: true}
+		n++
+	}
+	return wins, n
+}
+
+// down reports whether the access link is inside an outage at an
+// instant: per-epoch hashed handover micro-outages and rare long ones.
+func (a *starlinkAccess) down(at sim.Time) bool {
+	ep := a.epochOf(at)
+	into := time.Duration(int64(at) - int64(ep)*int64(a.params.Epoch))
+	wins, n := a.epochOutages(ep)
+	for i := 0; i < n; i++ {
+		if into >= wins[i].start && into < wins[i].start+wins[i].dur {
 			return true
 		}
 	}

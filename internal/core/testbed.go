@@ -9,6 +9,7 @@ import (
 	"starlinkperf/internal/measure"
 	"starlinkperf/internal/nat"
 	"starlinkperf/internal/netem"
+	"starlinkperf/internal/obs"
 	"starlinkperf/internal/pep"
 	"starlinkperf/internal/quic"
 	"starlinkperf/internal/sim"
@@ -84,6 +85,12 @@ type Config struct {
 	// output must be bit-identical either way; the equivalence suite in
 	// scheduler_equivalence_test.go enforces it across seeds.
 	ReferenceScheduler bool
+	// Obs enables the deterministic observability layer for this testbed:
+	// metrics and trace events from the link, LEO, transport, PEP, and
+	// probe layers land in Testbed.Obs. The zero value disables it, which
+	// costs one nil-check branch per instrumented site and changes no
+	// campaign output.
+	Obs obs.Options
 }
 
 // DefaultConfig returns the calibrated testbed configuration.
@@ -139,6 +146,11 @@ type Testbed struct {
 	// Shared protocol configs.
 	WebTCP   tcpsim.Config
 	QUICConf quic.Config
+
+	// Obs is the testbed's observability sink (nil when Config.Obs is
+	// disabled). Every instrumented layer writes into it; the parallel
+	// runner registers it with the campaign collector after each shard.
+	Obs *obs.Sink
 }
 
 // H3Port is where the UCLouvain QUIC server listens.
@@ -161,6 +173,10 @@ func NewTestbed(cfg Config) *Testbed {
 	}
 	nw := netem.New(sched)
 	tb := &Testbed{Cfg: cfg, Sched: sched, Net: nw}
+	if cfg.Obs.Enabled {
+		tb.Obs = obs.NewSink(cfg.Obs.TraceCap)
+		nw.Observe(tb.Obs)
+	}
 
 	// --- Constellation & terminal -----------------------------------
 	if cfg.InitialShellFraction > 0 && cfg.InitialShellFraction < 1 {
@@ -174,6 +190,7 @@ func NewTestbed(cfg Config) *Testbed {
 		{Name: "de-gw", Pos: posFra, PoP: "FRA"},
 	}
 	tb.Terminal = leo.NewTerminal(leo.DefaultTerminalConfig(posLouvain), con, gateways)
+	tb.Terminal.Observe(tb.Obs.Registry())
 	tb.access = &starlinkAccess{
 		params:   cfg.Starlink,
 		terminal: tb.Terminal,
@@ -260,12 +277,21 @@ func NewTestbed(cfg Config) *Testbed {
 	tb.CPE.SetDefaultRoute(tb.UpLink)
 	tb.StarGW.AddPrefixRoute(netem.MustParseAddr("100.64.0.7"), 32, tb.DownLink)
 
-	// Per-epoch capacity modulation.
+	// Per-epoch capacity modulation, plus the observability epoch
+	// sampler: handovers, serving gaps, and the epoch's outage windows
+	// are sampled at each boundary. AssignmentAt and epochOutages are
+	// pure (cache/hash only, no scheduler or RNG side effects), so the
+	// sampler cannot perturb campaign output.
+	sampleEpoch := tb.newEpochSampler()
 	var modulate func()
 	modulate = func() {
-		d, u := tb.access.rates(sched.Now())
+		now := sched.Now()
+		d, u := tb.access.rates(now)
 		tb.DownLink.SetRate(d)
 		tb.UpLink.SetRate(u)
+		if sampleEpoch != nil {
+			sampleEpoch(now)
+		}
 		sched.After(sp.Epoch, modulate)
 	}
 	modulate()
@@ -386,6 +412,7 @@ func NewTestbed(cfg Config) *Testbed {
 	pepCfg.FastOpen = true
 	// The fixed windows are provisioned per flow assuming the Ookla-like
 	// four-connection share of the segment.
+	pepCfg.Obs = tb.Obs
 	if !cfg.DisableSatComPEP {
 		tb.ModemPEP = pep.New(pepCfg)
 		tb.ModemPEP.ServerLegCC = func(mss int) cc.CongestionController {
@@ -395,12 +422,15 @@ func NewTestbed(cfg Config) *Testbed {
 		tb.TeleportPEP.ClientLegCC = func(mss int) cc.CongestionController {
 			return cc.NewFixed(2 << 20)
 		}
+		tb.ModemPEP.Observe(tb.Obs, "pep/modem")
+		tb.TeleportPEP.Observe(tb.Obs, "pep/teleport")
 		tb.SatModem.AttachDevice(tb.ModemPEP)
 		tb.Teleport.AttachDevice(tb.TeleportPEP)
 	}
 
 	// --- Ookla-like speedtest servers ---------------------------------
 	tb.WebTCP = tcpsim.DefaultConfig() // TLS 1.2 web mix
+	tb.WebTCP.Obs = tb.Obs
 	stTCP := measure.DefaultSpeedtestConfig().TCP
 	for i, spec := range []struct {
 		name string
@@ -422,6 +452,7 @@ func NewTestbed(cfg Config) *Testbed {
 
 	// --- QUIC server --------------------------------------------------
 	tb.QUICConf = quic.DefaultConfig()
+	tb.QUICConf.Obs = tb.Obs
 	tb.H3Server = measure.NewH3Server(tb.UCLServer, H3Port, tb.QUICConf)
 	// A plain TCP service on the server, the PEP-detection probe target.
 	tcpsim.Listen(tb.UCLServer, 80, tb.WebTCP, nil)
@@ -455,6 +486,61 @@ func NewTestbed(cfg Config) *Testbed {
 	tb.Sites = web.GenerateCorpus(rng.Stream("webcorpus"), cfg.WebSites)
 
 	return tb
+}
+
+// newEpochSampler builds the per-epoch observability callback: serving
+// satellite changes (handovers, gateway moves), serving gaps, and the
+// epoch's scheduled outage windows. Returns nil when observability is
+// disabled so the modulation loop pays one nil test.
+func (tb *Testbed) newEpochSampler() func(now sim.Time) {
+	if tb.Obs == nil {
+		return nil
+	}
+	reg, tr := tb.Obs.Registry(), tb.Obs.Tracer()
+	subj := tr.Subject("starlink/access")
+	handovers := reg.Counter("leo.handovers")
+	gwMoves := reg.Counter("leo.gateway_moves")
+	gaps := reg.Counter("leo.serving_gaps")
+	outages := reg.Counter("leo.outages")
+	longOutages := reg.Counter("leo.outages_long")
+	outageNS := reg.Histogram("leo.outage_ns", obs.DurationBounds())
+	var prev leo.Assignment
+	havePrev := false
+	return func(now sim.Time) {
+		cur := tb.Terminal.AssignmentAt(now)
+		if havePrev && cur != prev {
+			handovers.Inc()
+			tr.Emit(now, obs.KindHandover, subj, satCode(prev), satCode(cur))
+			if cur.Gateway != prev.Gateway {
+				gwMoves.Inc()
+			}
+		}
+		if !cur.OK {
+			gaps.Inc()
+		}
+		prev, havePrev = cur, true
+		wins, n := tb.access.epochOutages(tb.access.epochOf(now))
+		for i := 0; i < n; i++ {
+			w := wins[i]
+			outages.Inc()
+			long := int64(0)
+			if w.long {
+				longOutages.Inc()
+				long = 1
+			}
+			outageNS.Observe(int64(w.dur))
+			tr.Emit(now, obs.KindOutage, subj, int64(w.dur), long)
+		}
+	}
+}
+
+// satCode packs an assignment's serving satellite into one trace
+// operand: shell<<32 | plane<<16 | index, or -1 for no coverage.
+func satCode(a leo.Assignment) int64 {
+	if !a.OK {
+		return -1
+	}
+	return int64(a.Sat.Shell)<<32 | int64(a.Sat.Plane)<<16 | int64(a.Sat.Index)
 }
 
 // busyLoss adds loss probability while a link's queue runs above a

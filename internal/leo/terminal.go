@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"starlinkperf/internal/geo"
+	"starlinkperf/internal/obs"
 	"starlinkperf/internal/sim"
 )
 
@@ -109,6 +110,31 @@ type Terminal struct {
 	delayQuantumNS int64
 	delayRing      [delayRingSize]delayEntry
 	delayNext      int
+
+	obs *termObs
+}
+
+// termObs counts the terminal's selection-path and cache behavior —
+// the observable half of the geometry fast path's perf story. Nil when
+// observability is disabled.
+type termObs struct {
+	assignPruned *obs.Counter
+	assignFull   *obs.Counter
+	delayHit     *obs.Counter
+	delayMiss    *obs.Counter
+}
+
+// Observe attaches metrics to the terminal. A nil registry is a no-op.
+func (t *Terminal) Observe(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	t.obs = &termObs{
+		assignPruned: reg.Counter("leo.assign.pruned"),
+		assignFull:   reg.Counter("leo.assign.full_scan"),
+		delayHit:     reg.Counter("leo.delay.cache_hit"),
+		delayMiss:    reg.Counter("leo.delay.cache_miss"),
+	}
 }
 
 // NewTerminal creates a terminal using the given constellation and
@@ -175,11 +201,17 @@ func (t *Terminal) AssignmentAt(at sim.Time) Assignment {
 // reach a gateway; ties in gateway choice go to the shortest downlink.
 func (t *Terminal) computeAssignment(at sim.Time) Assignment {
 	if a := t.computeAssignmentPruned(at); a.OK {
+		if t.obs != nil {
+			t.obs.assignPruned.Inc()
+		}
 		return a
 	}
 	// Empty pruned set (coverage gap, exotic mask, latitude outside the
 	// shell): decide from the full scan so the answer never depends on
 	// the pruning bound.
+	if t.obs != nil {
+		t.obs.assignFull.Inc()
+	}
 	return t.computeAssignmentFull(at)
 }
 
@@ -401,8 +433,14 @@ func (t *Terminal) DelayAt(at sim.Time) (time.Duration, bool) {
 	q := int64(at) / t.delayQuantumNS
 	for i := range t.delayRing {
 		if e := &t.delayRing[i]; e.ok && e.key == q {
+			if t.obs != nil {
+				t.obs.delayHit.Inc()
+			}
 			return e.val, e.val >= 0
 		}
+	}
+	if t.obs != nil {
+		t.obs.delayMiss.Inc()
 	}
 	a := t.AssignmentAt(at)
 	var d time.Duration = -1

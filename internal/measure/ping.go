@@ -9,8 +9,18 @@ import (
 	"time"
 
 	"starlinkperf/internal/netem"
+	"starlinkperf/internal/obs"
 	"starlinkperf/internal/sim"
 )
+
+// probeObs caches the prober's metric handles; nil when disabled.
+type probeObs struct {
+	tr   *obs.Tracer
+	subj obs.Subj
+	sent *obs.Counter
+	lost *obs.Counter
+	rtt  *obs.Histogram
+}
 
 // Prober owns a node's ICMP handler and demultiplexes echo replies and
 // quoted errors to the measurement in progress. One Prober per node.
@@ -25,6 +35,24 @@ type Prober struct {
 	errCB func(pkt *netem.Packet)
 	// tcpReply receives TCP answers to raw PEP-detection probes.
 	tcpReply func(pkt *netem.Packet)
+
+	obs *probeObs
+}
+
+// Observe attaches probe metrics (echoes sent/lost, RTT histogram) and
+// probe-loss trace events to the prober. A nil sink is a no-op.
+func (p *Prober) Observe(s *obs.Sink) {
+	if s == nil {
+		return
+	}
+	reg, tr := s.Registry(), s.Tracer()
+	p.obs = &probeObs{
+		tr:   tr,
+		subj: tr.Subject("probe/" + p.node.Name()),
+		sent: reg.Counter("probe.echo_sent"),
+		lost: reg.Counter("probe.echo_lost"),
+		rtt:  reg.Histogram("probe.rtt_ns", obs.DurationBounds()),
+	}
 }
 
 type echoWait struct {
@@ -42,6 +70,10 @@ func echoTimeout(arg any) {
 	w := arg.(*echoWait)
 	if _, pending := w.p.echoCBs[w.seq]; pending {
 		delete(w.p.echoCBs, w.seq)
+		if o := w.p.obs; o != nil {
+			o.lost.Inc()
+			o.tr.Emit(w.p.sched.Now(), obs.KindProbeLost, o.subj, int64(w.seq), 0)
+		}
 		w.cb(0, false)
 	}
 }
@@ -71,7 +103,11 @@ func (p *Prober) receive(pkt *netem.Packet) {
 		if w, ok := p.echoCBs[icmp.Seq]; ok {
 			delete(p.echoCBs, icmp.Seq)
 			w.timeout.Stop()
-			w.cb(p.sched.Now().Sub(w.sentAt), true)
+			rtt := p.sched.Now().Sub(w.sentAt)
+			if p.obs != nil {
+				p.obs.rtt.Observe(int64(rtt))
+			}
+			w.cb(rtt, true)
 		}
 	case netem.ICMPTimeExceeded, netem.ICMPDestUnreachable:
 		if p.errCB != nil {
@@ -88,6 +124,9 @@ const PingTimeout = 3 * time.Second
 func (p *Prober) Echo(dst netem.Addr, size int, cb func(rtt time.Duration, ok bool)) {
 	seq := p.nextSeq
 	p.nextSeq++
+	if p.obs != nil {
+		p.obs.sent.Inc()
+	}
 	w := &echoWait{p: p, seq: seq, sentAt: p.sched.Now(), cb: cb}
 	w.timeout = p.sched.AfterFunc(PingTimeout, echoTimeout, w)
 	p.echoCBs[seq] = w

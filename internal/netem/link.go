@@ -3,6 +3,7 @@ package netem
 import (
 	"time"
 
+	"starlinkperf/internal/obs"
 	"starlinkperf/internal/sim"
 )
 
@@ -90,6 +91,11 @@ type Link struct {
 	lastArrival sim.Time
 	stats       LinkStats
 
+	// obs is the shared network observability bundle, nil when disabled;
+	// obsSubj is this link's interned trace subject.
+	obs     *netObs
+	obsSubj obs.Subj
+
 	// DropHook, when set, observes every packet the link drops.
 	DropHook func(now sim.Time, pkt *Packet, reason DropReason)
 	// DeliverHook, when set, observes every packet as it arrives at the
@@ -163,6 +169,11 @@ func (l *Link) send(pkt *Packet) {
 		txDone = now
 	}
 	l.stats.Sent++
+	if l.obs != nil {
+		l.obs.sent.Inc()
+		l.obs.queueDepth.Observe(int64(l.queuedBytes))
+		l.obs.tr.Emit(now, obs.KindEnqueue, l.obsSubj, int64(l.queuedBytes), int64(pkt.Size))
+	}
 
 	s.AtFunc(txDone, linkTxDone, l.net.getLinkEvent(l, pkt))
 }
@@ -177,6 +188,9 @@ func (ev *linkEvent) txDone() {
 		l.queuedBytes -= pkt.Size
 	}
 	at := s.Now()
+	if l.obs != nil {
+		l.obs.tr.Emit(at, obs.KindDequeue, l.obsSubj, int64(l.queuedBytes), int64(pkt.Size))
+	}
 	if l.cfg.Down != nil && l.cfg.Down(at) {
 		l.net.putLinkEvent(ev)
 		l.stats.DropsDown++
@@ -212,6 +226,9 @@ func (ev *linkEvent) deliver() {
 	l, pkt := ev.link, ev.pkt
 	l.net.putLinkEvent(ev)
 	l.stats.Delivered++
+	if l.obs != nil {
+		l.obs.delivered.Inc()
+	}
 	if l.DeliverHook != nil {
 		l.DeliverHook(l.net.sched.Now(), pkt)
 	}
@@ -219,6 +236,17 @@ func (ev *linkEvent) deliver() {
 }
 
 func (l *Link) drop(now sim.Time, pkt *Packet, reason DropReason) {
+	if l.obs != nil {
+		switch reason {
+		case DropQueueFull:
+			l.obs.dropQueue.Inc()
+		case DropMedium:
+			l.obs.dropMedium.Inc()
+		case DropOutage:
+			l.obs.dropOutage.Inc()
+		}
+		l.obs.tr.Emit(now, obs.KindDrop, l.obsSubj, int64(reason), int64(pkt.Size))
+	}
 	if l.DropHook != nil {
 		l.DropHook(now, pkt, reason)
 	}

@@ -3,8 +3,22 @@ package netem
 import (
 	"fmt"
 
+	"starlinkperf/internal/obs"
 	"starlinkperf/internal/sim"
 )
+
+// netObs bundles the network-wide link metrics and the tracer. One
+// instance is shared by every link; links keep a nil pointer when
+// observability is disabled, so the hot path pays a single branch.
+type netObs struct {
+	tr         *obs.Tracer
+	sent       *obs.Counter
+	delivered  *obs.Counter
+	dropQueue  *obs.Counter
+	dropMedium *obs.Counter
+	dropOutage *obs.Counter
+	queueDepth *obs.Histogram
+}
 
 // Network owns the nodes and links of an emulated internetwork and the
 // simulation scheduler driving them.
@@ -18,6 +32,30 @@ type Network struct {
 	// high-water mark is the peak number of packets in flight, after
 	// which the per-hop event path stops allocating.
 	evFree []*linkEvent
+	obs    *netObs
+}
+
+// Observe attaches an observability sink to the network: every existing
+// and future link reports counters, queue-depth samples, and
+// enqueue/dequeue/drop trace events through it. A nil sink is a no-op.
+func (nw *Network) Observe(s *obs.Sink) {
+	if s == nil {
+		return
+	}
+	reg, tr := s.Registry(), s.Tracer()
+	nw.obs = &netObs{
+		tr:         tr,
+		sent:       reg.Counter("net.link.sent"),
+		delivered:  reg.Counter("net.link.delivered"),
+		dropQueue:  reg.Counter("net.link.drops.queue"),
+		dropMedium: reg.Counter("net.link.drops.medium"),
+		dropOutage: reg.Counter("net.link.drops.outage"),
+		queueDepth: reg.Histogram("net.link.queue_bytes", obs.SizeBounds()),
+	}
+	for _, l := range nw.links {
+		l.obs = nw.obs
+		l.obsSubj = tr.Subject(l.name)
+	}
 }
 
 // New creates an empty network on the given scheduler.
@@ -73,6 +111,10 @@ func (nw *Network) AddLink(from, to *Node, cfg LinkConfig) *Link {
 		net:  nw,
 		to:   to,
 		cfg:  cfg,
+	}
+	if nw.obs != nil {
+		l.obs = nw.obs
+		l.obsSubj = nw.obs.tr.Subject(l.name)
 	}
 	nw.links = append(nw.links, l)
 	return l

@@ -20,9 +20,19 @@ import (
 
 	"starlinkperf/internal/cc"
 	"starlinkperf/internal/netem"
+	"starlinkperf/internal/obs"
 	"starlinkperf/internal/sim"
 	"starlinkperf/internal/tcpsim"
 )
+
+// pepObs caches the proxy's metric handles; nil when disabled.
+type pepObs struct {
+	tr      *obs.Tracer
+	subj    obs.Subj
+	splits  *obs.Counter
+	relayed *obs.Counter
+	flows   *obs.Gauge
+}
 
 type legRole uint8
 
@@ -67,11 +77,30 @@ type Proxy struct {
 	Match func(pkt *netem.Packet) bool
 
 	legs map[flowKey]legRef
+	obs  *pepObs
 
 	// Splits counts intercepted connections; Relayed counts relayed
 	// payload bytes.
 	Splits  uint64
 	Relayed uint64
+}
+
+// Observe attaches metrics and splice trace events to the proxy under
+// the given subject name (e.g. "pep/teleport"). The proxy's legs pick up
+// TCP-level instrumentation separately through Config.Obs. A nil sink is
+// a no-op.
+func (p *Proxy) Observe(s *obs.Sink, name string) {
+	if s == nil {
+		return
+	}
+	reg, tr := s.Registry(), s.Tracer()
+	p.obs = &pepObs{
+		tr:      tr,
+		subj:    tr.Subject(name),
+		splits:  reg.Counter("pep.splits"),
+		relayed: reg.Counter("pep.relayed_bytes"),
+		flows:   reg.Gauge("pep.active_flows"),
+	}
 }
 
 // New returns a PEP with the given leg configuration.
@@ -117,6 +146,10 @@ func (p *Proxy) Process(node *netem.Node, pkt *netem.Packet) bool {
 // replays the SYN into the client leg.
 func (p *Proxy) split(node *netem.Node, syn *netem.Packet, key flowKey) {
 	p.Splits++
+	if p.obs != nil {
+		p.obs.splits.Inc()
+		p.obs.tr.Emit(node.Scheduler().Now(), obs.KindSplice, p.obs.subj, int64(syn.SrcPort), int64(syn.DstPort))
+	}
 	f := &splitFlow{}
 	cliCfg, srvCfg := p.Config, p.Config
 	if p.ClientLegCC != nil {
@@ -168,6 +201,9 @@ func (p *Proxy) split(node *netem.Node, syn *netem.Packet, key flowKey) {
 		onMsg := func(m any) { pending, hasMsg = m, true }
 		onData := func(n int, fin bool) {
 			p.Relayed += uint64(n)
+			if p.obs != nil {
+				p.obs.relayed.Add(uint64(n))
+			}
 			if n > 0 {
 				if hasMsg {
 					dst.WriteMsg(n, pending)
@@ -189,12 +225,18 @@ func (p *Proxy) split(node *netem.Node, syn *netem.Packet, key flowKey) {
 	// other side does not hang.
 	f.clientLeg.OnClosed = func() {
 		delete(p.legs, key)
+		if p.obs != nil {
+			p.obs.flows.Set(int64(len(p.legs) / 2))
+		}
 		if !f.clientLeg.Completed() && f.serverLeg.State() != tcpsim.StateClosed {
 			f.serverLeg.Abort()
 		}
 	}
 	f.serverLeg.OnClosed = func() {
 		delete(p.legs, key.reverse())
+		if p.obs != nil {
+			p.obs.flows.Set(int64(len(p.legs) / 2))
+		}
 		if !f.serverLeg.Completed() && f.clientLeg.State() != tcpsim.StateClosed {
 			f.clientLeg.Abort()
 		}
@@ -202,6 +244,9 @@ func (p *Proxy) split(node *netem.Node, syn *netem.Packet, key flowKey) {
 
 	p.legs[key] = legRef{flow: f, role: toClient}
 	p.legs[key.reverse()] = legRef{flow: f, role: toServer}
+	if p.obs != nil {
+		p.obs.flows.Set(int64(len(p.legs) / 2))
+	}
 
 	f.serverLeg.Start()
 	f.clientLeg.HandleSegment(syn)

@@ -4,8 +4,35 @@ import (
 	"time"
 
 	"starlinkperf/internal/netem"
+	"starlinkperf/internal/obs"
 	"starlinkperf/internal/sim"
 )
+
+// quicObs caches the metric handles a connection writes into, all
+// pointing at the shared per-testbed registry/tracer.
+type quicObs struct {
+	tr       *obs.Tracer
+	subj     obs.Subj
+	lost     *obs.Counter
+	ptos     *obs.Counter
+	retxFrms *obs.Counter
+	cwnd     *obs.Histogram
+}
+
+func newQUICObs(s *obs.Sink) *quicObs {
+	if s == nil {
+		return nil
+	}
+	reg, tr := s.Registry(), s.Tracer()
+	return &quicObs{
+		tr:       tr,
+		subj:     tr.Subject("quic"),
+		lost:     reg.Counter("quic.packets_lost"),
+		ptos:     reg.Counter("quic.pto"),
+		retxFrms: reg.Counter("quic.frames_retx"),
+		cwnd:     reg.Histogram("quic.cwnd_bytes", obs.SizeBounds()),
+	}
+}
 
 // Config carries the transport parameters of one endpoint of a
 // connection. The defaults mirror the paper's quiche configuration.
@@ -28,6 +55,9 @@ type Config struct {
 	// EnablePacing spaces packet departures at 1.25x cwnd/SRTT.
 	// quiche at the paper's commit did not pace; the default is off.
 	EnablePacing bool
+	// Obs, when non-nil, reports loss/PTO counters, trace events, and
+	// cwnd samples for every connection built with this config.
+	Obs *obs.Sink
 }
 
 // DefaultConfig returns the paper's quiche-equivalent configuration.
@@ -141,6 +171,8 @@ type Connection struct {
 	TraceSent     func(at sim.Time, pn uint64, size int, eliciting bool)
 	TraceReceived func(at sim.Time, pn uint64, size int)
 
+	obs *quicObs
+
 	Stats Stats
 
 	inSend bool
@@ -178,6 +210,7 @@ func newConnection(ep *Endpoint, cfg Config, isClient bool, connID uint64, remot
 		maxDataRemote: cfg.InitialMaxData, // peers use symmetric configs in the testbed
 		streams:       make(map[uint64]*Stream),
 		activeSet:     make(map[uint64]bool),
+		obs:           newQUICObs(cfg.Obs),
 	}
 	if isClient {
 		c.nextStreamID = 0
@@ -469,6 +502,9 @@ func (c *Connection) onAckReceived(ack *AckFrame, now sim.Time) {
 	for _, sp := range res.Newly {
 		c.Stats.PacketsAcked++
 		c.cc.OnPacketAcked(now, sp.size, &c.rtt)
+		if c.obs != nil {
+			c.obs.cwnd.Observe(int64(c.cc.Window()))
+		}
 		for _, f := range sp.frames {
 			if sf, ok := f.(*StreamFrame); ok {
 				if s := c.streams[sf.StreamID]; s != nil {
@@ -488,6 +524,9 @@ func (c *Connection) onAckReceived(ack *AckFrame, now sim.Time) {
 func (c *Connection) handleLost(lost []*sentPacket, now sim.Time) {
 	for _, sp := range lost {
 		c.Stats.PacketsLost++
+		if c.obs != nil {
+			c.obs.lost.Inc()
+		}
 		c.cc.OnCongestionEvent(now, sp.sentAt)
 		for _, f := range sp.frames {
 			switch f := f.(type) {
@@ -499,6 +538,9 @@ func (c *Connection) handleLost(lost []*sentPacket, now sim.Time) {
 				}
 			default:
 				c.Stats.FramesRetransmitted++
+				if c.obs != nil {
+					c.obs.retxFrms.Inc()
+				}
 				c.retxQueue = append(c.retxQueue, f)
 			}
 		}
@@ -541,6 +583,10 @@ func (c *Connection) onLossTimer() {
 func (c *Connection) onPTO() {
 	c.ptoCount++
 	c.Stats.ProbesSent++
+	if c.obs != nil {
+		c.obs.ptos.Inc()
+		c.obs.tr.Emit(c.sched.Now(), obs.KindPTO, c.obs.subj, int64(c.ptoCount), 0)
+	}
 	// Probe with the oldest unacked ack-eliciting data under a fresh
 	// packet number; PING when nothing is outstanding.
 	if sp := c.ld.oldestEliciting(); sp != nil {

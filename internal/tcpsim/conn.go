@@ -5,8 +5,34 @@ import (
 
 	"starlinkperf/internal/cc"
 	"starlinkperf/internal/netem"
+	"starlinkperf/internal/obs"
 	"starlinkperf/internal/sim"
 )
+
+// tcpObs caches the metric handles a connection writes into; one is
+// built per connection from Config.Obs, all pointing at the same shared
+// registry/tracer, so counters aggregate across connections.
+type tcpObs struct {
+	tr       *obs.Tracer
+	subj     obs.Subj
+	rtos     *obs.Counter
+	fastRetx *obs.Counter
+	cwnd     *obs.Histogram
+}
+
+func newTCPObs(s *obs.Sink) *tcpObs {
+	if s == nil {
+		return nil
+	}
+	reg, tr := s.Registry(), s.Tracer()
+	return &tcpObs{
+		tr:       tr,
+		subj:     tr.Subject("tcp"),
+		rtos:     reg.Counter("tcp.rto"),
+		fastRetx: reg.Counter("tcp.fast_retx"),
+		cwnd:     reg.Histogram("tcp.cwnd_bytes", obs.SizeBounds()),
+	}
+}
 
 // Config carries the TCP/TLS parameters of one endpoint.
 type Config struct {
@@ -37,6 +63,11 @@ type Config struct {
 	MinRTO time.Duration
 	// DelayedAck is the delayed-ACK timer (Linux: 40 ms).
 	DelayedAck time.Duration
+	// Obs, when non-nil, reports retransmission counters, RTO trace
+	// events, and cwnd samples for every connection built with this
+	// config. Disabled observability is the nil default: one pointer
+	// test per instrumented site.
+	Obs *obs.Sink
 }
 
 // DefaultConfig returns the paper-testbed TCP configuration.
@@ -175,6 +206,8 @@ type Conn struct {
 	// uses it to unbind ports without racing user callbacks.
 	closeHook func()
 
+	obs *tcpObs
+
 	Stats Stats
 }
 
@@ -227,6 +260,7 @@ func NewConn(p ConnParams) *Conn {
 		rcvWnd:     cfg.InitialRcvWnd,
 		peerWnd:    cfg.InitialRcvWnd,
 		StartAt:    p.Sched.Now(),
+		obs:        newTCPObs(cfg.Obs),
 	}
 	// How many TLS bytes will the peer send before application data?
 	if p.IsClient {
@@ -646,6 +680,10 @@ func (c *Conn) onRTO() {
 	}
 	c.rtoCount++
 	c.Stats.RTOs++
+	if c.obs != nil {
+		c.obs.rtos.Inc()
+		c.obs.tr.Emit(c.sched.Now(), obs.KindRTO, c.obs.subj, int64(c.rtoCount), 0)
+	}
 	// Timeout: everything in flight is presumed lost. Collapse the pipe
 	// and requeue the un-SACKed parts of the outstanding window.
 	c.inflightQ = c.inflightQ[:0]
@@ -818,6 +856,9 @@ func (c *Conn) processAck(seg *Segment, now sim.Time) {
 	for _, r := range lost {
 		c.pipe -= int(r.end - r.start)
 		c.Stats.FastRetransmits++
+		if c.obs != nil {
+			c.obs.fastRetx.Inc()
+		}
 		start := r.start
 		if start < c.sndUna {
 			start = c.sndUna
@@ -836,6 +877,9 @@ func (c *Conn) processAck(seg *Segment, now sim.Time) {
 func (c *Conn) onRecordAcked(r *txRecord, now sim.Time) {
 	c.pipe -= int(r.end - r.start)
 	c.ccc.OnPacketAcked(now, int(r.end-r.start), &c.rtt)
+	if c.obs != nil {
+		c.obs.cwnd.Observe(int64(c.ccc.Window()))
+	}
 }
 
 func (c *Conn) processData(seg *Segment) {
