@@ -23,6 +23,13 @@ go build ./...
 echo "== go test -race"
 go test -race ./...
 
+echo "== packet datapath allocation gate (0 allocs/packet, no race detector)"
+# testing.AllocsPerRun under -race counts instrumentation allocations, so
+# the zero-allocation gates run in a plain pass. Any regression that puts
+# an allocation back on the send->route->deliver, echo-responder, or
+# transit-forward path fails here.
+go test ./internal/netem -run 'TestAllocGate' -count=1
+
 echo "== starlink-bench smoke (quick campaigns + bench.json schema)"
 ci_tmp=$(mktemp -d /tmp/bench_ci.XXXXXX)
 trap 'rm -rf "$ci_tmp"' EXIT

@@ -24,6 +24,7 @@ import (
 	"starlinkperf/internal/geo"
 	"starlinkperf/internal/leo"
 	"starlinkperf/internal/measure"
+	"starlinkperf/internal/netem"
 	"starlinkperf/internal/obs"
 	"starlinkperf/internal/sim"
 	"starlinkperf/internal/web"
@@ -343,9 +344,10 @@ type benchReport struct {
 	// (counters as counts, gauges as maxima, histograms as .count/.sum).
 	// It is deterministic for a given (config, seed), so trajectory diffs
 	// across PRs stay meaningful.
-	Obs       map[string]float64 `json:"obs,omitempty"`
-	Geometry  geometryReport     `json:"geometry"`
-	Scheduler schedulerReport    `json:"scheduler"`
+	Obs        map[string]float64 `json:"obs,omitempty"`
+	Geometry   geometryReport     `json:"geometry"`
+	Scheduler  schedulerReport    `json:"scheduler"`
+	PacketPath packetPathReport   `json:"packet_path"`
 }
 
 const benchSchema = "starlink-bench/v1"
@@ -399,6 +401,7 @@ func makeBenchReport(scale int, quick bool, workers int, seed uint64, wall time.
 		Metrics:     m,
 		Geometry:    geometryMicrobench(quick),
 		Scheduler:   schedulerMicrobench(quick),
+		PacketPath:  packetPathMicrobench(quick),
 	}
 }
 
@@ -560,6 +563,92 @@ func schedulerMicrobench(quick bool) schedulerReport {
 	}
 }
 
+// packetPathReport times one packet's end-to-end traversal of a 3-node
+// chain (send, flat-FIB route, transit forward, deliver, release) both
+// ways: the pooled datapath versus the seed allocate-per-packet path kept
+// in-tree as the reference. Tracking both keeps the zero-allocation claim
+// honest across PRs.
+type packetPathReport struct {
+	Packets            uint64  `json:"packets"`
+	NsPerPacket        float64 `json:"ns_per_packet"`
+	AllocsPerPacket    float64 `json:"allocs_per_packet"`
+	PacketsPerSec      float64 `json:"packets_per_sec"`
+	RefNsPerPacket     float64 `json:"ref_ns_per_packet"`
+	RefAllocsPerPacket float64 `json:"ref_allocs_per_packet"`
+	AllocReduction     float64 `json:"alloc_reduction"`
+	PacketSpeedup      float64 `json:"packet_speedup"`
+	PoolHitRate        float64 `json:"pool_hit_rate"`
+}
+
+// measurePacketPath runs n UDP packets through a 3-node chain after a
+// warmup that fills the packet/event freelists, returning ns/packet,
+// allocs/packet (cumulative-malloc delta, so the pooled path genuinely
+// reads zero), and the packet-pool hit rate.
+func measurePacketPath(reference bool, n int) (nsPerPacket, allocsPerPacket, hitRate float64) {
+	s := sim.NewScheduler(1)
+	nw := netem.New(s)
+	nw.SetReference(reference)
+	a := nw.NewNode("a", netem.MustParseAddr("10.0.0.1"))
+	b := nw.NewNode("b", netem.MustParseAddr("10.0.0.2"))
+	c := nw.NewNode("c", netem.MustParseAddr("10.0.0.3"))
+	ab, ba := nw.Connect(a, b, netem.LinkConfig{Delay: netem.ConstantDelay(time.Millisecond)})
+	bc, _ := nw.Connect(b, c, netem.LinkConfig{Delay: netem.ConstantDelay(time.Millisecond)})
+	a.SetDefaultRoute(ab)
+	b.AddRoute(c.Addr(), bc)
+	b.AddRoute(a.Addr(), ba)
+	c.Bind(netem.ProtoUDP, 9, func(*netem.Packet) {})
+	send := func() {
+		pkt := nw.NewPacket()
+		pkt.Dst = c.Addr()
+		pkt.DstPort = 9
+		pkt.Proto = netem.ProtoUDP
+		pkt.Size = 100
+		a.Send(pkt)
+		s.Run()
+	}
+	for i := 0; i < 1024; i++ {
+		send()
+	}
+	var ms0, ms1 runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&ms0)
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		send()
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&ms1)
+	nsPerPacket = float64(elapsed.Nanoseconds()) / float64(n)
+	allocsPerPacket = float64(ms1.Mallocs-ms0.Mallocs) / float64(n)
+	return nsPerPacket, allocsPerPacket, nw.PoolStats().HitRate()
+}
+
+func packetPathMicrobench(quick bool) packetPathReport {
+	n := 200000
+	if quick {
+		n = 40000
+	}
+	ns, allocs, hit := measurePacketPath(false, n)
+	refNs, refAllocs, _ := measurePacketPath(true, n)
+	// As in the scheduler section: the fast path measures 0 allocs/packet,
+	// so floor the denominator at one allocation across the whole run.
+	floor := allocs
+	if floor < 1/float64(n) {
+		floor = 1 / float64(n)
+	}
+	return packetPathReport{
+		Packets:            uint64(n),
+		NsPerPacket:        ns,
+		AllocsPerPacket:    allocs,
+		PacketsPerSec:      1e9 / ns,
+		RefNsPerPacket:     refNs,
+		RefAllocsPerPacket: refAllocs,
+		AllocReduction:     refAllocs / floor,
+		PacketSpeedup:      refNs / ns,
+		PoolHitRate:        hit,
+	}
+}
+
 // validateBenchJSON checks that a bench.json written by this (or an
 // earlier) binary conforms to the starlink-bench/v1 schema, so ci.sh can
 // fail fast when a section goes missing or a timing degenerates to zero.
@@ -616,6 +705,17 @@ func validateBenchJSON(path string) error {
 	}
 	if s.AllocReduction < 5 {
 		return fmt.Errorf("scheduler alloc_reduction = %.2f, want >= 5", s.AllocReduction)
+	}
+	p := rep.PacketPath
+	if p.Packets == 0 || p.NsPerPacket <= 0 || p.PacketsPerSec <= 0 || p.RefNsPerPacket <= 0 || p.RefAllocsPerPacket <= 0 {
+		return fmt.Errorf("packet_path section incomplete: %+v", p)
+	}
+	if p.AllocsPerPacket < 0 || p.AllocsPerPacket >= p.RefAllocsPerPacket {
+		return fmt.Errorf("packet_path allocs_per_packet = %v, reference = %v; pooled path should allocate less",
+			p.AllocsPerPacket, p.RefAllocsPerPacket)
+	}
+	if p.PoolHitRate <= 0 || p.PoolHitRate > 1 {
+		return fmt.Errorf("packet_path pool_hit_rate = %v, want in (0, 1]", p.PoolHitRate)
 	}
 	return nil
 }

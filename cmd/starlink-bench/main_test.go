@@ -116,6 +116,11 @@ func TestValidateBenchJSON(t *testing.T) {
 			Events: 1 << 20, NsPerEvent: 70, AllocsPerEvent: 0, EventsPerSec: 1.4e7,
 			RefNsPerEvent: 250, RefAllocsPerEvent: 2, AllocReduction: 1e6, EventSpeedup: 3.5,
 		},
+		PacketPath: packetPathReport{
+			Packets: 200000, NsPerPacket: 160, AllocsPerPacket: 0, PacketsPerSec: 6e6,
+			RefNsPerPacket: 280, RefAllocsPerPacket: 2, AllocReduction: 4e5,
+			PacketSpeedup: 1.7, PoolHitRate: 0.9999,
+		},
 	}
 	write := func(t *testing.T, rep benchReport) string {
 		t.Helper()
@@ -143,6 +148,12 @@ func TestValidateBenchJSON(t *testing.T) {
 		"reduction below 5x":   func(r *benchReport) { r.Scheduler.AllocReduction = 4.5 },
 		"zero wall":            func(r *benchReport) { r.WallSeconds = 0 },
 		"scheduler ns missing": func(r *benchReport) { r.Scheduler.NsPerEvent = 0 },
+		"no packet_path":       func(r *benchReport) { r.PacketPath = packetPathReport{} },
+		"packet alloc regression": func(r *benchReport) {
+			r.PacketPath.AllocsPerPacket = r.PacketPath.RefAllocsPerPacket
+		},
+		"pool hit rate zero":    func(r *benchReport) { r.PacketPath.PoolHitRate = 0 },
+		"pool hit rate above 1": func(r *benchReport) { r.PacketPath.PoolHitRate = 1.5 },
 	}
 	for name, mutate := range broken {
 		rep := valid

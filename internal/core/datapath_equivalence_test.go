@@ -1,0 +1,84 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+	"time"
+)
+
+// datapathFingerprint mirrors fingerprint (scheduler_equivalence_test.go)
+// but toggles the packet datapath instead of the scheduler: reference
+// runs the seed datapath (fresh allocations, map handler lookup, linear
+// longest-prefix scan), fast runs the pooled packets + flat FIB path.
+func datapathFingerprint(seed uint64, reference bool) campaignFingerprint {
+	cfg := DefaultConfig()
+	cfg.Seed = seed
+	cfg.ReferenceDatapath = reference
+	tb := NewTestbed(cfg)
+	fp := campaignFingerprint{Lat: tb.RunLatencyCampaign(2*time.Hour, 15*time.Minute)}
+	h3 := tb.RunH3Campaign(1, 2<<20, true, 5*time.Second)
+	for _, r := range h3.Records {
+		clean := h3Fingerprint{Record: r, ClientStats: r.Result.Client.Stats, ServerStats: r.Result.Server.Stats}
+		clean.Record.Result.Client, clean.Record.Result.Server = nil, nil
+		fp.H3 = append(fp.H3, clean)
+	}
+	fp.Msg = tb.RunMessagesCampaign(1, 20*time.Second, true)
+	fp.Speedtest = tb.RunSpeedtestCampaign(TechStarlink, 1, time.Minute)
+	fp.Web = tb.RunWebCampaign(TechStarlink, 2, time.Second)
+	fp.Processed = tb.Sched.Processed
+	return fp
+}
+
+// The pooled datapath must be campaign-equivalent to the seed datapath:
+// identical routing decisions, identical handler dispatch, identical
+// event counts, therefore bit-identical metrics across every campaign
+// family.
+func TestDatapathCampaignEquivalence(t *testing.T) {
+	for _, seed := range []uint64{1, 7, 42} {
+		fast := datapathFingerprint(seed, false)
+		ref := datapathFingerprint(seed, true)
+		if fast.Processed != ref.Processed {
+			t.Errorf("seed %d: fast datapath ran %d events, reference %d",
+				seed, fast.Processed, ref.Processed)
+		}
+		if !reflect.DeepEqual(fast.Lat, ref.Lat) {
+			t.Errorf("seed %d: latency campaign metrics diverge between datapaths", seed)
+		}
+		if !reflect.DeepEqual(fast.H3, ref.H3) {
+			t.Errorf("seed %d: H3 campaign metrics diverge between datapaths", seed)
+		}
+		if !reflect.DeepEqual(fast.Msg, ref.Msg) {
+			t.Errorf("seed %d: messages campaign metrics diverge between datapaths", seed)
+		}
+		if !reflect.DeepEqual(fast.Speedtest, ref.Speedtest) {
+			t.Errorf("seed %d: speedtest campaign metrics diverge between datapaths", seed)
+		}
+		if !reflect.DeepEqual(fast.Web, ref.Web) {
+			t.Errorf("seed %d: web campaign metrics diverge between datapaths", seed)
+		}
+	}
+}
+
+// Pooling is per-network and each parallel shard owns its network, so
+// worker count must not leak into results: the same campaign sharded
+// over 1 and 8 workers — and the reference datapath at either width —
+// must agree byte for byte.
+func TestDatapathParallelWorkerEquivalence(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Seed = 7
+	run := func(workers int, reference bool) *LatencyData {
+		c := cfg
+		c.ReferenceDatapath = reference
+		return RunLatencyCampaignParallel(c, 4, 30*time.Minute, 15*time.Minute,
+			Options{Workers: workers, Seed: c.Seed})
+	}
+	serialFast := run(1, false)
+	wideFast := run(8, false)
+	wideRef := run(8, true)
+	if !reflect.DeepEqual(serialFast, wideFast) {
+		t.Error("fast datapath: 1-worker and 8-worker campaigns diverge")
+	}
+	if !reflect.DeepEqual(wideFast, wideRef) {
+		t.Error("8-worker campaigns diverge between fast and reference datapaths")
+	}
+}

@@ -85,6 +85,11 @@ type Config struct {
 	// output must be bit-identical either way; the equivalence suite in
 	// scheduler_equivalence_test.go enforces it across seeds.
 	ReferenceScheduler bool
+	// ReferenceDatapath runs the network on the seed packet datapath:
+	// fresh allocations instead of pools, map-based handler lookup, and
+	// the linear longest-prefix route scan. Campaign output must be
+	// bit-identical either way; datapath_equivalence_test.go enforces it.
+	ReferenceDatapath bool
 	// Obs enables the deterministic observability layer for this testbed:
 	// metrics and trace events from the link, LEO, transport, PEP, and
 	// probe layers land in Testbed.Obs. The zero value disables it, which
@@ -172,6 +177,9 @@ func NewTestbed(cfg Config) *Testbed {
 		sched = sim.NewReferenceScheduler(cfg.Seed)
 	}
 	nw := netem.New(sched)
+	if cfg.ReferenceDatapath {
+		nw.SetReference(true)
+	}
 	tb := &Testbed{Cfg: cfg, Sched: sched, Net: nw}
 	if cfg.Obs.Enabled {
 		tb.Obs = obs.NewSink(cfg.Obs.TraceCap)

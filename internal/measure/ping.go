@@ -130,13 +130,16 @@ func (p *Prober) Echo(dst netem.Addr, size int, cb func(rtt time.Duration, ok bo
 	w := &echoWait{p: p, seq: seq, sentAt: p.sched.Now(), cb: cb}
 	w.timeout = p.sched.AfterFunc(PingTimeout, echoTimeout, w)
 	p.echoCBs[seq] = w
-	p.node.Send(&netem.Packet{
-		Dst:     dst,
-		SrcPort: p.icmpID, // fixed ICMP identifier, like real ping: one NAT mapping per prober
-		Proto:   netem.ProtoICMP,
-		Size:    size,
-		Payload: &netem.ICMP{Type: netem.ICMPEchoRequest, Seq: seq},
-	})
+	nw := p.node.Network()
+	pkt := nw.NewPacket()
+	pkt.Dst = dst
+	pkt.SrcPort = p.icmpID // fixed ICMP identifier, like real ping: one NAT mapping per prober
+	pkt.Proto = netem.ProtoICMP
+	pkt.Size = size
+	body := nw.NewICMP()
+	body.Type, body.Seq = netem.ICMPEchoRequest, seq
+	pkt.Payload = body
+	p.node.Send(pkt)
 }
 
 // PingResult is one ping measurement.

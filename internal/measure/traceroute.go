@@ -74,14 +74,14 @@ func (p *Prober) Traceroute(dst netem.Addr, maxTTL int, done func([]Hop)) {
 			}
 			step(ttl + 1)
 		}
-		p.node.Send(&netem.Packet{
-			Dst:     dst,
-			DstPort: basePort + uint16(ttl),
-			SrcPort: traceSrcPort,
-			Proto:   netem.ProtoUDP,
-			Size:    60,
-			TTL:     ttl,
-		})
+		pkt := p.node.NewPacket()
+		pkt.Dst = dst
+		pkt.DstPort = basePort + uint16(ttl)
+		pkt.SrcPort = traceSrcPort
+		pkt.Proto = netem.ProtoUDP
+		pkt.Size = 60
+		pkt.TTL = ttl
+		p.node.Send(pkt)
 	}
 	step(1)
 }
@@ -214,15 +214,17 @@ func (p *Prober) DetectPEP(dst netem.Addr, port uint16, maxTTL int, done func(PE
 					finish(true)
 				}
 			}
-			p.node.Send(&netem.Packet{
-				Dst:     dst,
-				DstPort: port,
-				SrcPort: srcPort,
-				Proto:   netem.ProtoTCP,
-				Size:    60,
-				TTL:     ttl,
-				Payload: &tcpsim.Segment{Flags: tcpsim.FlagSYN, Wnd: 65535},
-			})
+			pkt := p.node.NewPacket()
+			pkt.Dst = dst
+			pkt.DstPort = port
+			pkt.SrcPort = srcPort
+			pkt.Proto = netem.ProtoTCP
+			pkt.Size = 60
+			pkt.TTL = ttl
+			// The segment stays a literal: probes are rare and the reply
+			// path quotes them, so pooling buys nothing here.
+			pkt.Payload = &tcpsim.Segment{Flags: tcpsim.FlagSYN, Wnd: 65535}
+			p.node.Send(pkt)
 		}
 		p.node.Bind(netem.ProtoTCP, srcPort, func(pkt *netem.Packet) {
 			if p.tcpReply != nil {

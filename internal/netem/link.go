@@ -248,6 +248,10 @@ func (l *Link) drop(now sim.Time, pkt *Packet, reason DropReason) {
 		l.obs.tr.Emit(now, obs.KindDrop, l.obsSubj, int64(reason), int64(pkt.Size))
 	}
 	if l.DropHook != nil {
+		// The hook may retain the packet (loss-inspection tests do), so a
+		// hooked drop is left to the GC.
 		l.DropHook(now, pkt, reason)
+		return
 	}
+	l.net.releaseConsumed(pkt)
 }

@@ -33,6 +33,14 @@ type Network struct {
 	// which the per-hop event path stops allocating.
 	evFree []*linkEvent
 	obs    *netObs
+
+	// Packet/ICMP freelists and reference-mode switch (see pool.go). As
+	// with evFree, the freelists' high-water mark is the peak number of
+	// packets alive at once; past it the datapath stops allocating.
+	reference bool
+	pktFree   []*Packet
+	icmpFree  []*ICMP
+	poolStats PoolStats
 }
 
 // Observe attaches an observability sink to the network: every existing

@@ -44,6 +44,17 @@ type Node struct {
 	prefixRoutes []prefixRoute
 	defaultRoute *Link
 
+	// Flat FIB and handler fast tables (fib.go), rebuilt lazily from the
+	// maps above after any route/bind change; the route cache is cleared
+	// on every rebuild.
+	fibExact   []fibExact
+	fibPrefix  []fibPrefixEntry
+	fibGroups  []fibGroup
+	fibDirty   bool
+	routeCache [routeCacheSize]routeCacheEntry
+	hTable     []handlerEntry
+	hDirty     bool
+
 	devices  []Device
 	handlers map[protoPort]Handler
 
@@ -88,26 +99,49 @@ func (n *Node) EphemeralPort(proto Proto, floor uint16) uint16 {
 	if n.ephemeral == nil {
 		n.ephemeral = make(map[Proto]uint16)
 	}
+	if floor == 0xffff {
+		// Degenerate floor: keep at least one allocatable port above it.
+		floor = 0xfffe
+	}
 	p := n.ephemeral[proto]
 	if p < floor {
 		p = floor
 	}
 	p++
+	if p == 0 {
+		// uint16 wrap: restart just above the floor instead of handing
+		// out port 0 and the well-known range below it — the same defect
+		// class as the NAT allocPort wrap fixed earlier.
+		p = floor + 1
+	}
 	n.ephemeral[proto] = p
 	return p
 }
 
 // AddRoute installs an exact-destination route.
-func (n *Node) AddRoute(dst Addr, via *Link) { n.routes[dst] = via }
+func (n *Node) AddRoute(dst Addr, via *Link) {
+	n.routes[dst] = via
+	n.fibDirty = true
+}
 
 // AddPrefixRoute installs a route for a prefix of the given bit length.
 // Longest prefix wins; exact routes beat prefix routes.
 func (n *Node) AddPrefixRoute(prefix Addr, bits int, via *Link) {
 	n.prefixRoutes = append(n.prefixRoutes, prefixRoute{prefix: prefix, bits: bits, link: via})
+	n.fibDirty = true
 }
 
 // SetDefaultRoute installs the fallback route.
-func (n *Node) SetDefaultRoute(via *Link) { n.defaultRoute = via }
+func (n *Node) SetDefaultRoute(via *Link) {
+	n.defaultRoute = via
+	// The flat tables don't include the default, but the destination
+	// cache may hold decisions it produced: force a rebuild to clear it.
+	n.fibDirty = true
+}
+
+// NewPacket returns a packet for sending from this node (see
+// Network.NewPacket for the pooling contract).
+func (n *Node) NewPacket() *Packet { return n.net.NewPacket() }
 
 // AttachDevice appends a middlebox device to the node's processing chain.
 func (n *Node) AttachDevice(d Device) { n.devices = append(n.devices, d) }
@@ -121,15 +155,20 @@ func (n *Node) Bind(proto Proto, port uint16, h Handler) {
 		panic(fmt.Sprintf("netem: %s: duplicate bind %v port %d", n.name, proto, port))
 	}
 	n.handlers[key] = h
+	n.hDirty = true
 }
 
 // Unbind removes a handler installed with Bind.
 func (n *Node) Unbind(proto Proto, port uint16) {
 	delete(n.handlers, protoPort{proto, port})
+	n.hDirty = true
 }
 
 // Send originates a packet from this node: it stamps defaults (TTL,
-// checksum, send time, unique ID) and routes it.
+// checksum, send time, unique ID) and routes it. Stamping skips packets
+// that already carry an ID, so paths that re-inject an already-sent
+// packet (a duplicating device, an error re-send) preserve the original
+// ID/SentAt correlation fields.
 func (n *Node) Send(pkt *Packet) {
 	if pkt.TTL == 0 {
 		pkt.TTL = DefaultTTL
@@ -137,8 +176,10 @@ func (n *Node) Send(pkt *Packet) {
 	if pkt.Src == 0 {
 		pkt.Src = n.addr
 	}
-	pkt.ID = n.net.nextPacketID()
-	pkt.SentAt = n.net.sched.Now()
+	if pkt.ID == 0 {
+		pkt.ID = n.net.nextPacketID()
+		pkt.SentAt = n.net.sched.Now()
+	}
 	pkt.FixChecksum()
 	n.route(pkt)
 }
@@ -149,6 +190,10 @@ func (n *Node) receive(pkt *Packet) {
 
 	for _, d := range n.devices {
 		if !d.Process(n, pkt) {
+			// Consumed: the device dropped it or fed it synchronously
+			// into a local endpoint (PEP, NAT swallow). Devices that
+			// retain the packet must Detach it.
+			n.net.releaseConsumed(pkt)
 			return
 		}
 	}
@@ -162,6 +207,9 @@ func (n *Node) receive(pkt *Packet) {
 	pkt.TTL--
 	if pkt.TTL <= 0 {
 		n.sendICMPError(pkt, ICMPTimeExceeded)
+		// The quote above shares the payload, so only the wrapper can
+		// return to the pool.
+		n.net.releasePacket(pkt)
 		return
 	}
 	n.Forwarded++
@@ -174,30 +222,46 @@ func (n *Node) deliver(pkt *Packet) {
 		if icmp, ok := pkt.Payload.(*ICMP); ok && icmp.Type == ICMPEchoRequest {
 			// Mirror the port pair so translators can map the reply
 			// back (the ICMP identifier rides in the port fields).
-			n.Send(&Packet{
-				Dst:     pkt.Src,
-				DstPort: pkt.SrcPort,
-				SrcPort: pkt.DstPort,
-				Proto:   ProtoICMP,
-				Size:    pkt.Size,
-				Payload: &ICMP{Type: ICMPEchoReply, Seq: icmp.Seq, Data: icmp.Data},
-			})
+			reply := n.net.NewPacket()
+			reply.Dst = pkt.Src
+			reply.DstPort = pkt.SrcPort
+			reply.SrcPort = pkt.DstPort
+			reply.Proto = ProtoICMP
+			reply.Size = pkt.Size
+			body := n.net.NewICMP()
+			body.Type, body.Seq, body.Data = ICMPEchoReply, icmp.Seq, icmp.Data
+			reply.Payload = body
+			n.Send(reply)
+			n.net.releaseConsumed(pkt)
 			return
 		}
 	}
-	if h, ok := n.handlers[protoPort{pkt.Proto, pkt.DstPort}]; ok {
-		h(pkt)
-		return
+	var h Handler
+	if n.net.reference {
+		if hh, ok := n.handlers[protoPort{pkt.Proto, pkt.DstPort}]; ok {
+			h = hh
+		} else if hh, ok := n.handlers[protoPort{pkt.Proto, 0}]; ok {
+			h = hh
+		}
+	} else {
+		h = n.lookupHandler(pkt.Proto, pkt.DstPort)
 	}
-	if h, ok := n.handlers[protoPort{pkt.Proto, 0}]; ok {
+	if h != nil {
 		h(pkt)
+		// Handlers consume synchronously; anything they keep (the quoted
+		// probe of an ICMP error, a whole error message) is excluded by
+		// the release policy or must be Detached.
+		n.net.releaseConsumed(pkt)
 		return
 	}
 	// No listener: a real host would answer TCP with RST and UDP with
 	// port unreachable; the emulator folds both into DestUnreachable.
 	if pkt.Proto != ProtoICMP {
 		n.sendICMPError(pkt, ICMPDestUnreachable)
+		n.net.releasePacket(pkt) // quote shares the payload: wrapper only
+		return
 	}
+	n.net.releaseConsumed(pkt)
 }
 
 // sendICMPError emits an ICMP error quoting the offending packet as this
@@ -230,33 +294,27 @@ func (n *Node) route(pkt *Packet) {
 	for _, d := range n.devices {
 		if ed, ok := d.(EgressDevice); ok {
 			if !ed.ProcessEgress(n, pkt) {
+				n.net.releaseConsumed(pkt)
 				return
 			}
 		}
 	}
-	if l, ok := n.routes[pkt.Dst]; ok {
+	var l *Link
+	if n.net.reference {
+		l = n.referenceLookup(pkt.Dst)
+	} else {
+		l = n.lookupRoute(pkt.Dst)
+	}
+	if l != nil {
 		l.send(pkt)
-		return
-	}
-	var best *Link
-	bestBits := -1
-	for _, pr := range n.prefixRoutes {
-		if pr.bits > bestBits && matchPrefix(pkt.Dst, pr.prefix, pr.bits) {
-			best = pr.link
-			bestBits = pr.bits
-		}
-	}
-	if best != nil {
-		best.send(pkt)
-		return
-	}
-	if n.defaultRoute != nil {
-		n.defaultRoute.send(pkt)
 		return
 	}
 	if pkt.Src != n.addr {
 		n.sendICMPError(pkt, ICMPDestUnreachable)
+		n.net.releasePacket(pkt) // quote shares the payload: wrapper only
+		return
 	}
+	n.net.releaseConsumed(pkt)
 }
 
 func matchPrefix(a, prefix Addr, bits int) bool {

@@ -55,6 +55,33 @@ type Packet struct {
 	// measurement tools must not read it (they must discover paths the
 	// way real tools do, with TTL probing).
 	Hops []Addr
+
+	// Pool bookkeeping (see pool.go). owner is the network whose freelist
+	// the packet belongs to — nil for literals, which the datapath never
+	// recycles. gen counts recycles so stale references are detectable
+	// and stale releases inert; inPool guards double release.
+	owner  *Network
+	gen    uint32
+	inPool bool
+}
+
+// Gen returns the packet's pool generation. A holder that keeps a pooled
+// packet past its delivery point can snapshot Gen and later compare: a
+// changed generation means the packet was recycled underneath it.
+func (p *Packet) Gen() uint32 { return p.gen }
+
+// Pooled reports whether the packet belongs to a network's packet pool.
+func (p *Packet) Pooled() bool { return p.owner != nil }
+
+// Detach removes the packet — and a pooled ICMP payload — from its pool,
+// so every later release is a no-op and the value behaves like a plain
+// allocation. Handlers or devices that retain a delivered packet past
+// their synchronous call must detach it first.
+func (p *Packet) Detach() {
+	p.owner = nil
+	if ic, ok := p.Payload.(*ICMP); ok {
+		ic.owner = nil
+	}
 }
 
 // PseudoChecksum computes the toy internet checksum over the fields NATs
@@ -78,10 +105,20 @@ func (p *Packet) FixChecksum() {
 
 // Clone returns a shallow copy of the packet with its own Hops slice.
 // Payloads are shared: transports treat delivered payloads as immutable.
+// Cloning a pooled packet draws the copy from the pool (with its own
+// identity and Hops backing); cloning a literal allocates, as before.
 func (p *Packet) Clone() *Packet {
-	q := *p
-	q.Hops = append([]Addr(nil), p.Hops...)
-	return &q
+	var q *Packet
+	if p.owner != nil {
+		q = p.owner.NewPacket()
+	} else {
+		q = &Packet{}
+	}
+	owner, gen, hops := q.owner, q.gen, q.Hops
+	*q = *p
+	q.owner, q.gen, q.inPool = owner, gen, false
+	q.Hops = append(hops[:0], p.Hops...)
+	return q
 }
 
 // ICMPType enumerates the ICMP-like messages the emulator itself
@@ -120,4 +157,10 @@ type ICMP struct {
 	Seq    int
 	Quoted *Packet // for TimeExceeded / DestUnreachable
 	Data   any     // opaque echo payload
+
+	// Pool bookkeeping, mirroring Packet's (see pool.go). Bodies carrying
+	// a quote are never recycled: the quote — often the whole message —
+	// outlives delivery in traceroute and the tests.
+	owner  *Network
+	pooled bool
 }

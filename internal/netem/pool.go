@@ -1,0 +1,157 @@
+package netem
+
+// Packet pooling: the datapath recycles packet wrappers (and the hot
+// payload types) through per-Network freelists so a steady-state campaign
+// forwards packets without allocating. The lifecycle is explicit:
+//
+//   - Network.NewPacket hands out a zeroed packet owned by the network.
+//   - The datapath releases it at its terminal point — final delivery
+//     (after the bound handler or echo responder returns), device
+//     consumption, link drop, TTL expiry, or no-route — via the release
+//     helpers below.
+//   - Payloads are released together with the wrapper only when they are
+//     provably unshared: *ICMP bodies without a quote go back to the ICMP
+//     freelist, PayloadReleaser payloads (TCP segments) return to their
+//     owner, and everything else is left to the GC.
+//   - ICMP messages whose payload quotes another packet are never
+//     recycled: traceroute/Tracebox (and tests) retain the quote — and
+//     often the whole error packet — long after delivery.
+//
+// Safety comes from ownership checks rather than trust: releasing a
+// foreign packet (owner nil or another network), releasing twice, or
+// releasing through a stale generation-stamped reference are all inert
+// no-ops. A handler or device that wants to keep a delivered packet past
+// its synchronous call must Detach it first.
+//
+// Reference mode (SetReference) turns every constructor into a plain
+// allocation and every release into a no-op, reproducing the seed
+// datapath byte for byte; the equivalence suite in internal/core compares
+// full campaigns both ways.
+
+// PayloadReleaser is implemented by pooled payload types (the TCP
+// segment). The datapath calls ReleasePayload once the carrying packet
+// reaches its terminal point and the payload is provably unshared;
+// implementations return the value to their owner's freelist. Values
+// constructed outside a pool implement it as a no-op.
+type PayloadReleaser interface {
+	ReleasePayload()
+}
+
+// PoolStats counts packet-pool traffic.
+type PoolStats struct {
+	Gets uint64 // NewPacket calls
+	Hits uint64 // calls served from the freelist
+	Puts uint64 // packets returned to the freelist
+}
+
+// HitRate returns the fraction of NewPacket calls served without
+// allocating, in [0, 1].
+func (st PoolStats) HitRate() float64 {
+	if st.Gets == 0 {
+		return 0
+	}
+	return float64(st.Hits) / float64(st.Gets)
+}
+
+// PoolStats returns a copy of the packet-pool counters.
+func (nw *Network) PoolStats() PoolStats { return nw.poolStats }
+
+// SetReference switches the network to the seed datapath: fresh
+// allocations everywhere, map-based handler lookup, and the linear
+// longest-prefix route scan. Call it before any traffic flows; campaign
+// output must be bit-identical either way (datapath_equivalence_test.go
+// in internal/core enforces it).
+func (nw *Network) SetReference(on bool) { nw.reference = on }
+
+// Reference reports whether the network runs the seed datapath.
+func (nw *Network) Reference() bool { return nw.reference }
+
+// NewPacket returns a zeroed packet for sending on this network. On the
+// fast path it comes from the freelist (keeping its Hops backing array);
+// in reference mode it is a plain allocation the pool never touches
+// again.
+func (nw *Network) NewPacket() *Packet {
+	if nw.reference {
+		return &Packet{}
+	}
+	nw.poolStats.Gets++
+	if n := len(nw.pktFree); n > 0 {
+		p := nw.pktFree[n-1]
+		nw.pktFree[n-1] = nil
+		nw.pktFree = nw.pktFree[:n-1]
+		p.inPool = false
+		nw.poolStats.Hits++
+		return p
+	}
+	return &Packet{owner: nw}
+}
+
+// ReleasePacket returns a packet obtained from NewPacket to the pool.
+// gen must be the Packet.Gen observed when the reference was taken:
+// a stale generation (the packet was already recycled under the holder),
+// a double release, or a packet the pool does not own are inert no-ops.
+func (nw *Network) ReleasePacket(p *Packet, gen uint32) {
+	if p == nil || p.gen != gen {
+		return
+	}
+	nw.releasePacket(p)
+}
+
+// releasePacket is the trusted internal release: the datapath calls it
+// only at points where it structurally holds the sole live reference.
+func (nw *Network) releasePacket(p *Packet) {
+	if p == nil || p.owner != nw || p.inPool {
+		return
+	}
+	hops := p.Hops[:0]
+	*p = Packet{owner: nw, gen: p.gen + 1, inPool: true, Hops: hops}
+	nw.poolStats.Puts++
+	nw.pktFree = append(nw.pktFree, p)
+}
+
+// releaseConsumed recycles a packet that reached a terminal point with
+// its payload unshared: final delivery, device consumption, or a link
+// drop. Payloads are recycled by type per the policy above; error
+// messages carrying a quote are left entirely to the GC because callers
+// retain them.
+func (nw *Network) releaseConsumed(p *Packet) {
+	if p == nil || p.owner != nw || p.inPool {
+		return
+	}
+	switch pl := p.Payload.(type) {
+	case *ICMP:
+		if pl.Quoted != nil {
+			return
+		}
+		nw.releaseICMP(pl)
+	case PayloadReleaser:
+		pl.ReleasePayload()
+	}
+	nw.releasePacket(p)
+}
+
+// NewICMP returns a zeroed ICMP body from the pool (or a plain
+// allocation in reference mode).
+func (nw *Network) NewICMP() *ICMP {
+	if nw.reference {
+		return &ICMP{}
+	}
+	if n := len(nw.icmpFree); n > 0 {
+		ic := nw.icmpFree[n-1]
+		nw.icmpFree[n-1] = nil
+		nw.icmpFree = nw.icmpFree[:n-1]
+		ic.pooled = false
+		return ic
+	}
+	return &ICMP{owner: nw}
+}
+
+// releaseICMP returns a pooled ICMP body. Foreign or already-pooled
+// bodies are inert no-ops.
+func (nw *Network) releaseICMP(ic *ICMP) {
+	if ic == nil || ic.owner != nw || ic.pooled {
+		return
+	}
+	*ic = ICMP{owner: nw, pooled: true}
+	nw.icmpFree = append(nw.icmpFree, ic)
+}

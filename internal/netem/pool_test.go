@@ -1,0 +1,244 @@
+package netem
+
+import (
+	"testing"
+	"time"
+
+	"starlinkperf/internal/sim"
+)
+
+func TestPacketPoolLifecycle(t *testing.T) {
+	_, nw := testNet(t)
+	p := nw.NewPacket()
+	if !p.Pooled() {
+		t.Fatal("NewPacket must hand out a pool-owned packet")
+	}
+	p.Hops = append(p.Hops, 1, 2, 3)
+	gen := p.Gen()
+	nw.ReleasePacket(p, gen)
+
+	st := nw.PoolStats()
+	if st.Gets != 1 || st.Puts != 1 || st.Hits != 0 {
+		t.Fatalf("stats after first cycle = %+v", st)
+	}
+	q := nw.NewPacket()
+	if q != p {
+		t.Fatal("freelist must return the released packet")
+	}
+	if q.Gen() != gen+1 {
+		t.Fatalf("generation = %d, want %d", q.Gen(), gen+1)
+	}
+	if len(q.Hops) != 0 || cap(q.Hops) < 3 {
+		t.Fatalf("Hops backing not recycled: len=%d cap=%d", len(q.Hops), cap(q.Hops))
+	}
+	if q.ID != 0 || q.Payload != nil || q.TTL != 0 {
+		t.Fatalf("recycled packet not scrubbed: %+v", q)
+	}
+	if got := nw.PoolStats(); got.Hits != 1 {
+		t.Fatalf("Hits = %d, want 1", got.Hits)
+	}
+	if hr := nw.PoolStats().HitRate(); hr != 0.5 {
+		t.Fatalf("HitRate = %v, want 0.5", hr)
+	}
+}
+
+func TestStaleDoubleAndForeignReleasesAreInert(t *testing.T) {
+	_, nw := testNet(t)
+	s2 := sim.NewScheduler(2)
+	other := New(s2)
+
+	p := nw.NewPacket()
+	gen := p.Gen()
+	nw.ReleasePacket(p, gen)
+	nw.ReleasePacket(p, gen) // double release: gen already advanced
+	if st := nw.PoolStats(); st.Puts != 1 {
+		t.Fatalf("double release not inert: Puts = %d", st.Puts)
+	}
+
+	q := nw.NewPacket()
+	nw.ReleasePacket(q, q.Gen()+1) // stale/wrong generation
+	if q.Pooled() && len(nw.pktFree) != 0 {
+		t.Fatal("stale-generation release must be a no-op")
+	}
+	other.ReleasePacket(q, q.Gen()) // foreign network
+	if len(other.pktFree) != 0 {
+		t.Fatal("foreign release must be a no-op")
+	}
+
+	lit := &Packet{}
+	nw.ReleasePacket(lit, lit.Gen()) // literal: never pooled
+	nw.releaseConsumed(lit)
+	if len(nw.pktFree) != 0 {
+		t.Fatal("literal release must be a no-op")
+	}
+}
+
+func TestDetachRemovesFromPool(t *testing.T) {
+	_, nw := testNet(t)
+	p := nw.NewPacket()
+	ic := nw.NewICMP()
+	p.Payload = ic
+	p.Detach()
+	if p.Pooled() {
+		t.Fatal("detached packet still pool-owned")
+	}
+	nw.releaseConsumed(p)
+	if len(nw.pktFree) != 0 || len(nw.icmpFree) != 0 {
+		t.Fatal("detached packet or its ICMP body returned to the pool")
+	}
+}
+
+func TestQuotedICMPNeverRecycled(t *testing.T) {
+	_, nw := testNet(t)
+	p := nw.NewPacket()
+	ic := nw.NewICMP()
+	ic.Type = ICMPTimeExceeded
+	ic.Quoted = &Packet{ID: 99}
+	p.Payload = ic
+	nw.releaseConsumed(p)
+	if len(nw.pktFree) != 0 || len(nw.icmpFree) != 0 {
+		t.Fatal("error message carrying a quote must be left to the GC")
+	}
+	if ic.Quoted == nil || ic.Quoted.ID != 99 {
+		t.Fatal("quote scrubbed")
+	}
+}
+
+func TestReferenceModeAllocatesPlainly(t *testing.T) {
+	_, nw := testNet(t)
+	nw.SetReference(true)
+	if !nw.Reference() {
+		t.Fatal("Reference() must report the mode")
+	}
+	p := nw.NewPacket()
+	if p.Pooled() {
+		t.Fatal("reference mode must hand out owner-less packets")
+	}
+	ic := nw.NewICMP()
+	p.Payload = ic
+	nw.releaseConsumed(p)
+	nw.ReleasePacket(p, p.Gen())
+	if st := nw.PoolStats(); st.Gets != 0 || st.Puts != 0 {
+		t.Fatalf("reference mode touched the pool: %+v", st)
+	}
+}
+
+func TestCloneOfPooledPacketIsIndependent(t *testing.T) {
+	_, nw := testNet(t)
+	p := nw.NewPacket()
+	p.ID, p.Dst, p.Size = 7, 42, 100
+	p.Hops = append(p.Hops, 1, 2)
+	q := p.Clone()
+	if q == p || !q.Pooled() {
+		t.Fatal("clone of a pooled packet must be a distinct pooled packet")
+	}
+	if q.ID != 7 || q.Dst != 42 || len(q.Hops) != 2 {
+		t.Fatalf("clone fields wrong: %+v", q)
+	}
+	q.Hops[0] = 9
+	if p.Hops[0] == 9 {
+		t.Fatal("clone shares Hops backing")
+	}
+	nw.releasePacket(p)
+	if q.ID != 7 {
+		t.Fatal("releasing the original corrupted the clone")
+	}
+
+	lit := &Packet{ID: 5, Hops: []Addr{1}}
+	if c := lit.Clone(); c.Pooled() || c.ID != 5 {
+		t.Fatal("clone of a literal must stay a literal")
+	}
+}
+
+// Regression for the Send stamping change: a packet that already carries
+// an ID (a re-injected or duplicated packet) must keep its ID and SentAt
+// so capture correlation holds; fresh packets still get stamped.
+func TestSendPreservesPresetID(t *testing.T) {
+	s, nw := testNet(t)
+	nodes := buildChain(nw, 2, time.Millisecond)
+	a, b := nodes[0], nodes[1]
+	b.Bind(ProtoUDP, 9, func(*Packet) {})
+
+	fresh := &Packet{Dst: b.Addr(), DstPort: 9, Proto: ProtoUDP, Size: 10}
+	a.Send(fresh)
+	if fresh.ID == 0 {
+		t.Fatal("fresh packet not stamped")
+	}
+
+	preset := &Packet{ID: 777, SentAt: sim.Time(5 * time.Millisecond),
+		Dst: b.Addr(), DstPort: 9, Proto: ProtoUDP, Size: 10}
+	a.Send(preset)
+	if preset.ID != 777 || preset.SentAt != sim.Time(5*time.Millisecond) {
+		t.Fatalf("preset ID/SentAt restamped: id=%d sentAt=%v", preset.ID, preset.SentAt)
+	}
+	s.Run()
+}
+
+// The quoted probe inside a TimeExceeded must carry the original probe's
+// stamped ID even though the probe wrapper is recycled after expiry —
+// that ID is what lets traceroute correlate replies to probes.
+func TestQuotedPacketKeepsProbeID(t *testing.T) {
+	s, nw := testNet(t)
+	nodes := buildChain(nw, 4, time.Millisecond)
+
+	var reply *Packet
+	nodes[0].Bind(ProtoICMP, 0, func(p *Packet) { reply = p })
+
+	probe := nw.NewPacket()
+	probe.Dst = nodes[3].Addr()
+	probe.DstPort = 33436
+	probe.SrcPort = 40000
+	probe.Proto = ProtoUDP
+	probe.Size = 60
+	probe.TTL = 2
+	nodes[0].Send(probe)
+	probeID, probeSum := probe.ID, probe.Checksum // read before the pool recycles it
+	if probeID == 0 {
+		t.Fatal("probe not stamped")
+	}
+	s.Run()
+
+	if reply == nil {
+		t.Fatal("no TimeExceeded came back")
+	}
+	icmp := reply.Payload.(*ICMP)
+	if icmp.Type != ICMPTimeExceeded || icmp.Quoted == nil {
+		t.Fatalf("unexpected reply: %+v", icmp)
+	}
+	q := icmp.Quoted
+	if q.ID != probeID {
+		t.Fatalf("quoted ID = %d, want %d", q.ID, probeID)
+	}
+	if q.SrcPort != 40000 || q.DstPort != 33436 || q.Checksum != probeSum {
+		t.Fatalf("quoted header fields diverge from the probe: %+v", q)
+	}
+}
+
+// EphemeralPort pressure: allocation must never return port 0 or dip to
+// the well-known range after the uint16 counter wraps.
+func TestEphemeralPortWrapStaysAboveFloor(t *testing.T) {
+	_, nw := testNet(t)
+	n := nw.NewNode("n", MustParseAddr("10.0.0.1"))
+	const floor = 32768
+	seen0 := false
+	for i := 0; i < 200000; i++ {
+		p := n.EphemeralPort(ProtoTCP, floor)
+		if p == 0 {
+			seen0 = true
+			break
+		}
+		if p <= floor {
+			t.Fatalf("allocation %d: port %d at or below floor %d", i, p, floor)
+		}
+	}
+	if seen0 {
+		t.Fatal("EphemeralPort handed out port 0 after wrap")
+	}
+
+	// Degenerate floor: the only allocatable port above 0xfffe is 0xffff.
+	for i := 0; i < 10; i++ {
+		if p := n.EphemeralPort(ProtoUDP, 0xffff); p != 0xffff {
+			t.Fatalf("degenerate floor allocation = %d, want 0xffff", p)
+		}
+	}
+}

@@ -161,6 +161,7 @@ func (p *Proxy) split(node *netem.Node, syn *netem.Packet, key flowKey) {
 	f.clientLeg = tcpsim.NewConn(tcpsim.ConnParams{
 		Sched:      node.Scheduler(),
 		Transmit:   node.Send,
+		Node:       node,
 		LocalAddr:  syn.Dst, // spoof the server
 		LocalPort:  syn.DstPort,
 		RemoteAddr: syn.Src,
@@ -171,6 +172,7 @@ func (p *Proxy) split(node *netem.Node, syn *netem.Packet, key flowKey) {
 	f.serverLeg = tcpsim.NewConn(tcpsim.ConnParams{
 		Sched:      node.Scheduler(),
 		Transmit:   node.Send,
+		Node:       node,
 		LocalAddr:  syn.Src, // spoof the client
 		LocalPort:  syn.SrcPort,
 		RemoteAddr: syn.Dst,

@@ -97,12 +97,12 @@ func (e *Endpoint) receive(pkt *netem.Packet) {
 // sendDatagram wraps a serialized QUIC packet in a UDP packet and sends
 // it from the endpoint's node.
 func (e *Endpoint) sendDatagram(remote netem.Addr, remotePort uint16, payload []byte) {
-	e.node.Send(&netem.Packet{
-		Dst:     remote,
-		DstPort: remotePort,
-		SrcPort: e.port,
-		Proto:   netem.ProtoUDP,
-		Size:    len(payload) + udpOverhead,
-		Payload: payload,
-	})
+	pkt := e.node.NewPacket()
+	pkt.Dst = remote
+	pkt.DstPort = remotePort
+	pkt.SrcPort = e.port
+	pkt.Proto = netem.ProtoUDP
+	pkt.Size = len(payload) + udpOverhead
+	pkt.Payload = payload
+	e.node.Send(pkt)
 }

@@ -128,6 +128,14 @@ type Conn struct {
 	transmit func(*netem.Packet)
 	isClient bool
 
+	// node, when set, supplies pooled packet wrappers; pool additionally
+	// enables the per-connection segment freelist (both off in the
+	// network's reference mode). Segments return here from the datapath
+	// via Segment.ReleasePayload once the carrying packet is consumed.
+	node    *netem.Node
+	pool    bool
+	segFree []*Segment
+
 	localAddr  netem.Addr
 	localPort  uint16
 	remoteAddr netem.Addr
@@ -214,8 +222,12 @@ type Conn struct {
 // ConnParams parameterizes direct connection construction (used by the
 // Dial/Listen glue and by the PEP middlebox for spoofed legs).
 type ConnParams struct {
-	Sched      *sim.Scheduler
-	Transmit   func(*netem.Packet)
+	Sched    *sim.Scheduler
+	Transmit func(*netem.Packet)
+	// Node, when set, identifies the node this endpoint lives on; the
+	// connection then draws packet wrappers (and, outside reference mode,
+	// TCP segments) from pools instead of allocating per send.
+	Node       *netem.Node
 	LocalAddr  netem.Addr
 	LocalPort  uint16
 	RemoteAddr netem.Addr
@@ -252,6 +264,8 @@ func NewConn(p ConnParams) *Conn {
 		cfg:        cfg,
 		transmit:   p.Transmit,
 		isClient:   p.IsClient,
+		node:       p.Node,
+		pool:       p.Node != nil && !p.Node.Network().Reference(),
 		localAddr:  p.LocalAddr,
 		localPort:  p.LocalPort,
 		remoteAddr: p.RemoteAddr,
@@ -314,7 +328,9 @@ func (c *Conn) sendSYN() {
 	if !c.isClient {
 		flags |= FlagACK
 	}
-	c.send(&Segment{Flags: flags, Wnd: c.rcvWnd})
+	seg := c.newSegment()
+	seg.Flags, seg.Wnd = flags, c.rcvWnd
+	c.send(seg)
 	backoff := time.Second << uint(min(c.rtoCount, 6))
 	c.synTimer = c.sched.AfterFunc(backoff, connSynRetry, c)
 }
@@ -358,15 +374,15 @@ func (c *Conn) WriteMsg(n int, msg any) {
 	c.maybeSend()
 }
 
-// msgsInRange returns pending outgoing messages anchored in [start, end).
-func (c *Conn) msgsInRange(start, end uint64) []AppMsg {
-	var out []AppMsg
+// appendMsgsInRange appends pending outgoing messages anchored in
+// [start, end) to dst, reusing its backing array.
+func (c *Conn) appendMsgsInRange(dst []AppMsg, start, end uint64) []AppMsg {
 	for _, m := range c.msgsOut {
 		if m.Off >= start && m.Off < end {
-			out = append(out, m)
+			dst = append(dst, m)
 		}
 	}
-	return out
+	return dst
 }
 
 // pruneAckedMsgs drops outgoing messages fully below snd.una.
@@ -394,7 +410,9 @@ func (c *Conn) Abort() {
 	if c.state == StateClosed {
 		return
 	}
-	c.send(&Segment{Flags: FlagRST})
+	seg := c.newSegment()
+	seg.Flags = FlagRST
+	c.send(seg)
 	c.teardown()
 }
 
@@ -508,6 +526,24 @@ func (c *Conn) advertisedWnd() uint64 {
 	return w
 }
 
+// newSegment returns a zeroed segment for sending: from the connection's
+// freelist when pooling, a plain allocation otherwise (the datapath never
+// recycles owner-less segments, so reference mode reproduces the seed
+// allocation pattern exactly).
+func (c *Conn) newSegment() *Segment {
+	if !c.pool {
+		return &Segment{}
+	}
+	if n := len(c.segFree); n > 0 {
+		s := c.segFree[n-1]
+		c.segFree[n-1] = nil
+		c.segFree = c.segFree[:n-1]
+		s.pooled = false
+		return s
+	}
+	return &Segment{owner: c}
+}
+
 // send transmits a segment with common fields stamped.
 func (c *Conn) send(seg *Segment) {
 	seg.TS = c.sched.Now()
@@ -515,15 +551,20 @@ func (c *Conn) send(seg *Segment) {
 		seg.Wnd = c.advertisedWnd()
 	}
 	c.Stats.SegmentsSent++
-	c.transmit(&netem.Packet{
-		Src:     c.localAddr,
-		Dst:     c.remoteAddr,
-		SrcPort: c.localPort,
-		DstPort: c.remotePort,
-		Proto:   netem.ProtoTCP,
-		Size:    seg.wireSize(),
-		Payload: seg,
-	})
+	var pkt *netem.Packet
+	if c.node != nil {
+		pkt = c.node.NewPacket()
+	} else {
+		pkt = &netem.Packet{}
+	}
+	pkt.Src = c.localAddr
+	pkt.Dst = c.remoteAddr
+	pkt.SrcPort = c.localPort
+	pkt.DstPort = c.remotePort
+	pkt.Proto = netem.ProtoTCP
+	pkt.Size = seg.wireSize()
+	pkt.Payload = seg
+	c.transmit(pkt)
 }
 
 // outstanding returns un-acked sequence space.
@@ -562,7 +603,8 @@ func (c *Conn) maybeSend() {
 			if start >= c.sendEnd {
 				// The range covers only the FIN's virtual byte.
 				c.retxQueue.ranges = c.retxQueue.ranges[1:]
-				seg := &Segment{Flags: FlagACK | FlagFIN, Seq: c.sendEnd, Len: 0, Ack: c.ackValue(), Retx: true}
+				seg := c.newSegment()
+				seg.Flags, seg.Seq, seg.Ack, seg.Retx = FlagACK|FlagFIN, c.sendEnd, c.ackValue(), true
 				c.trackTx(c.sendEnd, c.sendEnd+1, true)
 				c.send(seg)
 				c.armRTO()
@@ -582,8 +624,9 @@ func (c *Conn) maybeSend() {
 			}
 			c.Stats.BytesRetx += uint64(n)
 			fin := c.finSent && start+uint64(n) == c.sendEnd && r.End > c.sendEnd
-			seg := &Segment{Flags: FlagACK, Seq: start, Len: n, Ack: c.ackValue(), Retx: true,
-				Msgs: c.msgsInRange(start, start+uint64(n))}
+			seg := c.newSegment()
+			seg.Flags, seg.Seq, seg.Len, seg.Ack, seg.Retx = FlagACK, start, n, c.ackValue(), true
+			seg.Msgs = c.appendMsgsInRange(seg.Msgs, start, start+uint64(n))
 			end := start + uint64(n)
 			if fin {
 				seg.Flags |= FlagFIN
@@ -616,8 +659,9 @@ func (c *Conn) maybeSend() {
 				fin = true
 				c.finSent = true
 			}
-			seg := &Segment{Flags: FlagACK, Seq: c.sndNxt, Len: n, Ack: c.ackValue(),
-				Msgs: c.msgsInRange(c.sndNxt, c.sndNxt+uint64(n))}
+			seg := c.newSegment()
+			seg.Flags, seg.Seq, seg.Len, seg.Ack = FlagACK, c.sndNxt, n, c.ackValue()
+			seg.Msgs = c.appendMsgsInRange(seg.Msgs, c.sndNxt, c.sndNxt+uint64(n))
 			if fin {
 				seg.Flags |= FlagFIN
 			}
@@ -632,7 +676,8 @@ func (c *Conn) maybeSend() {
 		// Bare FIN.
 		if c.finQueued && !c.finSent && c.sndNxt == c.sendEnd {
 			c.finSent = true
-			seg := &Segment{Flags: FlagACK | FlagFIN, Seq: c.sndNxt, Len: 0, Ack: c.ackValue()}
+			seg := c.newSegment()
+			seg.Flags, seg.Seq, seg.Ack = FlagACK|FlagFIN, c.sndNxt, c.ackValue()
 			c.trackTx(c.sndNxt, c.sndNxt+1, false)
 			c.sndNxt++
 			c.send(seg)
@@ -747,7 +792,9 @@ func (c *Conn) HandleSegment(pkt *netem.Packet) {
 			c.peerSynAcked = true
 			c.synTimer.Stop()
 			c.peerWnd = seg.Wnd
-			c.send(&Segment{Flags: FlagACK, Ack: c.ackValue(), Wnd: c.rcvWnd})
+			rep := c.newSegment()
+			rep.Flags, rep.Ack, rep.Wnd = FlagACK, c.ackValue(), c.rcvWnd
+			c.send(rep)
 			c.tcpEstablish()
 		}
 		return
@@ -1001,7 +1048,9 @@ func (c *Conn) sendAck() {
 	}
 	c.segsSinceAck = 0
 	c.ackTimer.Stop()
-	seg := &Segment{Flags: FlagACK, Ack: c.ackValue(), Wnd: c.advertisedWnd(), Sack: c.recvRanges.blocks(8)}
+	seg := c.newSegment()
+	seg.Flags, seg.Ack, seg.Wnd = FlagACK, c.ackValue(), c.advertisedWnd()
+	seg.Sack = c.recvRanges.appendBlocks(seg.Sack, 8)
 	if !c.lastRecvTSRetx {
 		seg.Echo = c.lastRecvTS
 	}

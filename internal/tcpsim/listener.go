@@ -42,6 +42,7 @@ func (l *Listener) receive(pkt *netem.Packet) {
 		c = NewConn(ConnParams{
 			Sched:      l.node.Scheduler(),
 			Transmit:   l.node.Send,
+			Node:       l.node,
 			LocalAddr:  l.node.Addr(),
 			LocalPort:  l.port,
 			RemoteAddr: pkt.Src,
@@ -66,6 +67,7 @@ func Dial(node *netem.Node, remote netem.Addr, remotePort uint16, cfg Config) *C
 	c := NewConn(ConnParams{
 		Sched:      node.Scheduler(),
 		Transmit:   node.Send,
+		Node:       node,
 		LocalAddr:  node.Addr(),
 		LocalPort:  sport,
 		RemoteAddr: remote,

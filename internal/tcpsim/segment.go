@@ -86,6 +86,31 @@ type Segment struct {
 	// Msgs carries application messages anchored at stream offsets
 	// inside this segment's payload (see Conn.WriteMsg).
 	Msgs []AppMsg
+
+	// Pool bookkeeping: owner is the connection whose freelist the segment
+	// returns to (nil for literals, which are never recycled); pooled
+	// guards double release. The receiver copies everything it needs out
+	// of a delivered segment, so the datapath can recycle it at the
+	// packet's terminal point via ReleasePayload.
+	owner  *Conn
+	pooled bool
+}
+
+// ReleasePayload implements netem.PayloadReleaser: the segment returns to
+// its owning connection's freelist, keeping the Sack and Msgs backing
+// arrays. Foreign (owner-nil) or already-pooled segments are inert.
+func (s *Segment) ReleasePayload() {
+	c := s.owner
+	if c == nil || s.pooled {
+		return
+	}
+	sack := s.Sack[:0]
+	msgs := s.Msgs[:0]
+	for i := range s.Msgs {
+		s.Msgs[i] = AppMsg{} // drop payload references so the GC can collect them
+	}
+	*s = Segment{owner: c, pooled: true, Sack: sack, Msgs: msgs}
+	c.segFree = append(c.segFree, s)
 }
 
 // AppMsg is an application message anchored at a stream offset. Payloads
@@ -217,15 +242,16 @@ func (b *byteRanges) covered(start, end uint64) bool {
 // lowest-lying blocks directly converges to the same sender knowledge
 // with far fewer ACKs, which is what matters for the emulation.
 func (b *byteRanges) blocks(n int) []SackBlock {
-	if len(b.ranges) == 0 {
-		return nil
-	}
+	return b.appendBlocks(nil, n)
+}
+
+// appendBlocks appends up to n lowest-lying ranges to dst (see blocks),
+// reusing its backing array.
+func (b *byteRanges) appendBlocks(dst []SackBlock, n int) []SackBlock {
 	if n > len(b.ranges) {
 		n = len(b.ranges)
 	}
-	out := make([]SackBlock, n)
-	copy(out, b.ranges[:n])
-	return out
+	return append(dst[:0], b.ranges[:n]...)
 }
 
 // maxEnd returns the highest received byte, or floor when empty.
