@@ -30,6 +30,12 @@ echo "== packet datapath allocation gate (0 allocs/packet, no race detector)"
 # transit-forward path fails here.
 go test ./internal/netem -run 'TestAllocGate' -count=1
 
+echo "== fleet reassignment allocation gate (0 allocs/epoch, no race detector)"
+# Same idea for the planet-scale fleet: the per-epoch cell-indexed
+# reassignment (snapshot lookup, candidate build, terminal scan, beam
+# accounting) must stay allocation-free in steady state.
+go test ./internal/fleet -run 'TestAllocGate' -count=1
+
 echo "== starlink-bench smoke (quick campaigns + bench.json schema)"
 ci_tmp=$(mktemp -d /tmp/bench_ci.XXXXXX)
 trap 'rm -rf "$ci_tmp"' EXIT
@@ -39,7 +45,9 @@ go run ./cmd/starlink-bench -validate "$ci_tmp/bench.json"
 echo "== observability determinism (double run, byte-diffed exports)"
 # Same quick campaign twice with different worker counts: the metrics
 # registry and the binary event trace must come out byte-identical, or
-# the sim has a nondeterminism leak.
+# the sim has a nondeterminism leak. Every quick run includes the
+# 10k-terminal fleet scenario, so this also byte-diffs the fleet's
+# per-region metrics, epoch trace, and figures table at 1 vs 8 workers.
 go run ./cmd/starlink-bench -quick -workers 1 \
     -trace "$ci_tmp/trace1.bin" -metrics.json "$ci_tmp/metrics1.json" >"$ci_tmp/figures1.txt"
 go run ./cmd/starlink-bench -quick -workers 8 \

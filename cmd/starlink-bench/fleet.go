@@ -1,0 +1,163 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"time"
+
+	"starlinkperf/internal/fleet"
+	"starlinkperf/internal/sim"
+)
+
+// fleetReport is the bench.json section for the planet-scale terminal
+// fleet scenario: the campaign's per-region distributions plus a
+// microbench pitting the spatial cell index against the naive O(N×M)
+// reference scan kept in-tree. Tracking both keeps the index's speedup
+// and zero-allocation claims honest across PRs.
+type fleetReport struct {
+	Terminals       int     `json:"terminals"`
+	Epochs          int     `json:"epochs"`
+	Cells           int     `json:"cells"`
+	Satellites      int     `json:"satellites"`
+	OutagePct       float64 `json:"outage_pct"`
+	CellNsPerEpoch  float64 `json:"cell_ns_per_epoch"`
+	RefNsPerEpoch   float64 `json:"ref_ns_per_epoch"`
+	ReassignSpeedup float64 `json:"reassign_speedup"`
+	AllocsPerEpoch  float64 `json:"allocs_per_epoch"`
+
+	Regions []fleetRegionReport `json:"regions"`
+}
+
+// fleetRegionReport flattens one region's campaign distributions.
+type fleetRegionReport struct {
+	Region         string  `json:"region"`
+	Terminals      int     `json:"terminals"`
+	OutagePct      float64 `json:"outage_pct"`
+	LatencyP50Ms   float64 `json:"latency_p50_ms"`
+	LatencyP95Ms   float64 `json:"latency_p95_ms"`
+	Handovers      int64   `json:"handovers"`
+	PeakMbpsP50    float64 `json:"peak_mbps_p50"`
+	OffPeakMbpsP50 float64 `json:"offpeak_mbps_p50"`
+	PeakDipPct     float64 `json:"peak_dip_pct"`
+}
+
+func makeFleetReport(res *fleet.Result, quick bool) fleetReport {
+	rep := fleetReport{
+		Terminals:  res.Terminals,
+		Epochs:     res.Epochs,
+		Cells:      res.Cells,
+		Satellites: res.Satellites,
+	}
+	outages := int64(0)
+	for _, rr := range res.Regions {
+		outages += rr.OutageTermEpochs
+		rep.Regions = append(rep.Regions, fleetRegionReport{
+			Region:         rr.Region,
+			Terminals:      rr.Terminals,
+			OutagePct:      rr.OutagePct,
+			LatencyP50Ms:   rr.LatencyP50Ms,
+			LatencyP95Ms:   rr.LatencyP95Ms,
+			Handovers:      rr.Handovers,
+			PeakMbpsP50:    rr.PeakMbpsP50,
+			OffPeakMbpsP50: rr.OffPeakMbpsP50,
+			PeakDipPct:     rr.PeakDipPct,
+		})
+	}
+	if res.Terminals > 0 && res.Epochs > 0 {
+		rep.OutagePct = 100 * float64(outages) / (float64(res.Terminals) * float64(res.Epochs))
+	}
+	rep.CellNsPerEpoch, rep.RefNsPerEpoch, rep.AllocsPerEpoch = fleetMicrobench(quick)
+	rep.ReassignSpeedup = rep.RefNsPerEpoch / rep.CellNsPerEpoch
+	return rep
+}
+
+// fleetMicrobench times one reassignment epoch through the cell index
+// and through the reference scan on the same fleet. Instants cycle the
+// constellation's 8-slot snapshot ring after a warmup, so the measured
+// steady state never recomputes positions — allocs/epoch comes from the
+// runtime's cumulative malloc counter and genuinely reads zero.
+func fleetMicrobench(quick bool) (cellNs, refNs, allocsPerEpoch float64) {
+	terms, cellN, refN := 10000, 192, 16
+	if quick {
+		terms, cellN, refN = 4000, 64, 6
+	}
+	fl := fleet.New(fleet.Config{Seed: 1, Terminals: terms, Workers: 1})
+	var instants [8]sim.Time
+	for i := range instants {
+		instants[i] = sim.Time(int64(i) * int64(15*time.Second))
+	}
+	for r := 0; r < 2; r++ {
+		for _, at := range instants {
+			fl.ReassignAt(at)
+		}
+	}
+	var ms0, ms1 runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&ms0)
+	start := time.Now()
+	for i := 0; i < cellN; i++ {
+		fl.ReassignAt(instants[i%len(instants)])
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&ms1)
+	cellNs = float64(elapsed.Nanoseconds()) / float64(cellN)
+	allocsPerEpoch = float64(ms1.Mallocs-ms0.Mallocs) / float64(cellN)
+
+	start = time.Now()
+	for i := 0; i < refN; i++ {
+		fl.ReferenceReassignAt(instants[i%len(instants)])
+	}
+	refNs = float64(time.Since(start).Nanoseconds()) / float64(refN)
+	return cellNs, refNs, allocsPerEpoch
+}
+
+// renderFleet prints the per-region distribution table of the fleet
+// scenario — the global-coverage story (latency by region, high-latitude
+// outage, peak-hour dip) the paper's single-vantage campaigns cannot
+// show.
+func renderFleet(w io.Writer, res *fleet.Result) {
+	fmt.Fprintf(w, "=== starlink-fleet scenario ===\n")
+	fmt.Fprintf(w, "%d terminals, %d epochs, %d cells, %d satellites\n\n",
+		res.Terminals, res.Epochs, res.Cells, res.Satellites)
+	fmt.Fprintf(w, "%-14s %6s %8s %7s %7s %9s %9s %8s %6s\n",
+		"region", "terms", "outage%", "p50ms", "p95ms", "handovers", "peak p50", "off p50", "dip%")
+	for _, rr := range res.Regions {
+		fmt.Fprintf(w, "%-14s %6d %8.2f %7.1f %7.1f %9d %9.1f %8.1f %6.1f\n",
+			rr.Region, rr.Terminals, rr.OutagePct, rr.LatencyP50Ms, rr.LatencyP95Ms,
+			rr.Handovers, rr.PeakMbpsP50, rr.OffPeakMbpsP50, rr.PeakDipPct)
+	}
+}
+
+// validateFleetReport checks the fleet section of a bench.json: the
+// campaign must have covered a real fleet and the cell index must beat
+// the reference scan by the floor without allocating.
+func validateFleetReport(f fleetReport) error {
+	if f.Terminals <= 0 || f.Epochs <= 0 || f.Cells <= 0 || f.Satellites <= 0 {
+		return fmt.Errorf("fleet section incomplete: %+v", f)
+	}
+	if f.OutagePct < 0 || f.OutagePct > 100 {
+		return fmt.Errorf("fleet outage_pct = %v, want in [0, 100]", f.OutagePct)
+	}
+	if f.CellNsPerEpoch <= 0 || f.RefNsPerEpoch <= 0 {
+		return fmt.Errorf("fleet microbench timings missing: %+v", f)
+	}
+	if f.ReassignSpeedup < 3 {
+		return fmt.Errorf("fleet reassign_speedup = %.2f, want >= 3", f.ReassignSpeedup)
+	}
+	if f.AllocsPerEpoch < 0 || f.AllocsPerEpoch >= 1 {
+		return fmt.Errorf("fleet allocs_per_epoch = %v, want < 1", f.AllocsPerEpoch)
+	}
+	if len(f.Regions) == 0 {
+		return fmt.Errorf("fleet regions missing")
+	}
+	for _, rr := range f.Regions {
+		if rr.Region == "" || rr.Terminals <= 0 {
+			return fmt.Errorf("fleet region entry incomplete: %+v", rr)
+		}
+		if rr.OutagePct < 0 || rr.OutagePct > 100 {
+			return fmt.Errorf("fleet region %s outage_pct = %v", rr.Region, rr.OutagePct)
+		}
+	}
+	return nil
+}

@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"starlinkperf/internal/core"
+	"starlinkperf/internal/fleet"
 	"starlinkperf/internal/geo"
 	"starlinkperf/internal/leo"
 	"starlinkperf/internal/measure"
@@ -52,6 +53,8 @@ type sizes struct {
 	webVisits   int
 	weheRepeats int
 	baseline    int
+	fleetTerms  int
+	fleetSpan   time.Duration
 }
 
 func sizesFor(scale int, quick bool) sizes {
@@ -62,6 +65,7 @@ func sizesFor(scale int, quick bool) sizes {
 			msgSessions: 1, msgDur: time.Minute,
 			stStarlink: 2, stSatCom: 2,
 			webVisits: 4, weheRepeats: 1, baseline: 1,
+			fleetTerms: 10000, fleetSpan: 2 * time.Hour,
 		}
 	}
 	latInterval := 30 * time.Minute
@@ -74,6 +78,7 @@ func sizesFor(scale int, quick bool) sizes {
 		msgSessions: 4 * scale, msgDur: 2 * time.Minute,
 		stStarlink: 16 * scale, stSatCom: 8 * scale,
 		webVisits: 40 * scale, weheRepeats: min(10, 2*scale), baseline: 4,
+		fleetTerms: 20000, fleetSpan: time.Duration(min(24, 6*scale)) * time.Hour,
 	}
 }
 
@@ -231,6 +236,12 @@ func run(args []string, stdout, stderr io.Writer) error {
 	fmt.Fprintf(stderr, "running %d campaigns on %d workers...\n", len(jobs), nw)
 	started := time.Now()
 	core.RunSweep(jobs, opts)
+
+	// The fleet scenario runs after the sweep on the same options: seed
+	// and worker count flow through, and its per-region metrics/trace
+	// join the collector as the "fleet/0000" source.
+	fmt.Fprintf(stderr, "fleet: %d terminals over %v...\n", sz.fleetTerms, sz.fleetSpan)
+	fleetRes := core.RunFleetScenario(fleet.Config{Terminals: sz.fleetTerms, Horizon: sz.fleetSpan}, opts)
 	wall := time.Since(started)
 
 	fig1 := core.Figure1(lat, latAnchors)
@@ -272,6 +283,8 @@ func run(args []string, stdout, stderr io.Writer) error {
 	core.RenderMiddleboxAudit(&out, "satcom", mbSC)
 	out.WriteString("\n")
 	core.RenderWehe(&out, "starlink", weheDs)
+	out.WriteString("\n")
+	renderFleet(&out, fleetRes)
 
 	fmt.Fprintf(&out, "\nWired-baseline H3 downloads: %d packets sent, %d lost (paper: 10 of 5.8M)\n", baseSent, baseLost)
 
@@ -298,6 +311,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 
 	if *benchJSON != "" {
 		rep := makeBenchReport(*scale, *quick, nw, *seed, wall, fig1, t2, fig5)
+		rep.Fleet = makeFleetReport(fleetRes, *quick)
 		rep.Obs = collector.Snapshot()
 		blob, err := json.MarshalIndent(rep, "", "  ")
 		if err != nil {
@@ -348,6 +362,7 @@ type benchReport struct {
 	Geometry   geometryReport     `json:"geometry"`
 	Scheduler  schedulerReport    `json:"scheduler"`
 	PacketPath packetPathReport   `json:"packet_path"`
+	Fleet      fleetReport        `json:"fleet"`
 }
 
 const benchSchema = "starlink-bench/v1"
@@ -717,5 +732,5 @@ func validateBenchJSON(path string) error {
 	if p.PoolHitRate <= 0 || p.PoolHitRate > 1 {
 		return fmt.Errorf("packet_path pool_hit_rate = %v, want in (0, 1]", p.PoolHitRate)
 	}
-	return nil
+	return validateFleetReport(rep.Fleet)
 }

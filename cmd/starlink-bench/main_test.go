@@ -61,6 +61,16 @@ func TestRunQuickSmoke(t *testing.T) {
 	if s.AllocReduction < 5 {
 		t.Errorf("scheduler alloc reduction %.1fx below the 5x floor", s.AllocReduction)
 	}
+	fl := rep.Fleet
+	if fl.Terminals != 10000 || fl.Epochs != 480 || len(fl.Regions) == 0 {
+		t.Errorf("fleet campaign shape wrong: %+v", fl)
+	}
+	if fl.ReassignSpeedup < 3 {
+		t.Errorf("fleet reassign speedup %.1fx below the 3x floor", fl.ReassignSpeedup)
+	}
+	if fl.AllocsPerEpoch >= 1 {
+		t.Errorf("fleet reassignment allocates %.2f per epoch", fl.AllocsPerEpoch)
+	}
 
 	// The report the binary just wrote must pass its own validator.
 	var vOut, vErr strings.Builder
@@ -82,6 +92,7 @@ func TestRunQuickSmoke(t *testing.T) {
 	for _, want := range []string{
 		"Table 1", "Figure 1", "Figure 2", "Figure 3", "Table 2",
 		"Figure 5", "Figure 6", "Wired-baseline H3 downloads",
+		"starlink-fleet scenario", "high-north",
 	} {
 		if !strings.Contains(out.String(), want) {
 			t.Errorf("output missing %q", want)
@@ -121,6 +132,15 @@ func TestValidateBenchJSON(t *testing.T) {
 			RefNsPerPacket: 280, RefAllocsPerPacket: 2, AllocReduction: 4e5,
 			PacketSpeedup: 1.7, PoolHitRate: 0.9999,
 		},
+		Fleet: fleetReport{
+			Terminals: 10000, Epochs: 480, Cells: 4000, Satellites: 1584,
+			OutagePct: 4.2, CellNsPerEpoch: 6e6, RefNsPerEpoch: 9e7,
+			ReassignSpeedup: 15, AllocsPerEpoch: 0,
+			Regions: []fleetRegionReport{
+				{Region: "europe", Terminals: 2500, OutagePct: 1.1, LatencyP50Ms: 35,
+					LatencyP95Ms: 60, Handovers: 12000, PeakMbpsP50: 40, OffPeakMbpsP50: 70, PeakDipPct: 42},
+			},
+		},
 	}
 	write := func(t *testing.T, rep benchReport) string {
 		t.Helper()
@@ -154,6 +174,14 @@ func TestValidateBenchJSON(t *testing.T) {
 		},
 		"pool hit rate zero":    func(r *benchReport) { r.PacketPath.PoolHitRate = 0 },
 		"pool hit rate above 1": func(r *benchReport) { r.PacketPath.PoolHitRate = 1.5 },
+		"no fleet":              func(r *benchReport) { r.Fleet = fleetReport{} },
+		"fleet speedup below 3": func(r *benchReport) { r.Fleet.ReassignSpeedup = 2.5 },
+		"fleet alloc regression": func(r *benchReport) {
+			r.Fleet.AllocsPerEpoch = 1
+		},
+		"fleet no regions":      func(r *benchReport) { r.Fleet.Regions = nil },
+		"fleet bad outage":      func(r *benchReport) { r.Fleet.OutagePct = 101 },
+		"fleet timings missing": func(r *benchReport) { r.Fleet.CellNsPerEpoch = 0 },
 	}
 	for name, mutate := range broken {
 		rep := valid

@@ -1,0 +1,35 @@
+package core
+
+import (
+	"runtime"
+
+	"starlinkperf/internal/fleet"
+	"starlinkperf/internal/obs"
+)
+
+// RunFleetScenario runs the planet-scale terminal-fleet campaign under
+// the shared Options semantics: opts.Seed overrides the config seed,
+// opts.Workers resolves the reassignment parallelism (zero means
+// GOMAXPROCS), and when opts.Obs is set the fleet's per-region metrics
+// and epoch trace register under the "fleet/0000" source so the
+// collector's sorted exports stay invariant to worker count. Worker
+// count never changes the result — the fleet equivalence suite holds
+// the scenario to bit-identical outputs for any parallelism.
+func RunFleetScenario(cfg fleet.Config, opts Options) *fleet.Result {
+	if opts.Seed != 0 {
+		cfg.Seed = opts.Seed
+	}
+	if cfg.Workers <= 0 {
+		w := opts.Workers
+		if w <= 0 {
+			w = runtime.GOMAXPROCS(0)
+		}
+		cfg.Workers = w
+	}
+	if opts.Obs != nil {
+		sink := obs.NewSink(0)
+		cfg.Obs = sink
+		opts.Obs.Add("fleet/0000", sink)
+	}
+	return fleet.Run(cfg)
+}

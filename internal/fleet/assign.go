@@ -1,0 +1,296 @@
+package fleet
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"starlinkperf/internal/geo"
+	"starlinkperf/internal/leo"
+	"starlinkperf/internal/sim"
+)
+
+// assignBlock is the unit of work the parallel reassignment hands to
+// workers: big enough to amortize the atomic fetch, small enough to
+// balance cells of very different terminal density.
+const assignBlock = 2048
+
+// ReassignAt recomputes every terminal's serving satellite, gateway and
+// bent-pipe delay for the epoch instant at, using the cell index: one
+// sweep over the constellation builds per-cell candidate lists (CSR into
+// reused scratch), then each terminal scans only its cell's candidates.
+// With cfg.Workers > 1 the per-terminal phase fans out over goroutines;
+// every terminal is a pure function of (position, snapshot), so results
+// are bit-identical for any worker count.
+//
+// Steady state allocates nothing with Workers <= 1 once the snapshot
+// ring and the candidate scratch have warmed up (multi-worker runs pay
+// the goroutine spawns, nothing else); the fleet alloc gate holds this
+// path to zero.
+func (f *Fleet) ReassignAt(at sim.Time) {
+	snap := f.con.SnapshotAt(at)
+	f.buildCandidates(snap)
+	n := len(f.sat)
+	if f.cfg.Workers <= 1 {
+		f.assignRange(0, n)
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < f.cfg.Workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				lo := int(next.Add(1)-1) * assignBlock
+				if lo >= n {
+					return
+				}
+				hi := lo + assignBlock
+				if hi > n {
+					hi = n
+				}
+				f.assignRange(lo, hi)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// buildCandidates fills the per-cell candidate CSR (candStart, cands)
+// from the snapshot: two identical enumeration passes — count, then fill
+// — so the only allocation ever needed is growing cands toward its
+// high-water mark. Enumeration is ascending in flat satellite id, and a
+// satellite is admitted to a given cell at most once, so every cell's
+// candidate list is strictly increasing — which is what makes the
+// argmax tie-break below match the ascending reference scan exactly.
+func (f *Fleet) buildCandidates(snap *leo.Snapshot) {
+	for si := range f.shells {
+		f.shellPos[si] = snap.ShellPositions(si)
+	}
+	for c := range f.candCount {
+		f.candCount[c] = 0
+	}
+	f.scanSats(false)
+	total := int32(0)
+	for c := range f.candCount {
+		f.candStart[c] = total
+		total += f.candCount[c]
+	}
+	f.candStart[len(f.candCount)] = total
+	copy(f.candFill, f.candStart[:len(f.candCount)])
+	if cap(f.cands) < int(total) {
+		f.cands = make([]int32, total)
+	} else {
+		f.cands = f.cands[:total]
+	}
+	f.scanSats(true)
+}
+
+// scanSats runs the satellite→cell admission sweep. fill=false counts
+// admissions per cell, fill=true writes them; the two passes share this
+// one body (a boolean, not closures — closures allocate) so they cannot
+// diverge.
+//
+// Admission reasons on the sphere: a terminal in cell c can see
+// satellite s only if the central angle between the terminal and the
+// subsatellite point is at most the shell's coverage angle λ. Any point
+// of c is within row.radius of c's center, so it suffices to admit s
+// into every cell whose center is within reach = λ + margin + row.radius
+// of the subsatellite point. Per row that is a latitude band test plus
+// an exact longitude window: with Δ the center-to-subsatellite angle,
+// cos Δ = A + B·cos(lonS − lonC), A = sin latS·sin latC,
+// B = cos latS·cos latC, so cos(lonS − lonC) ≥ (cos reach − A)/B.
+func (f *Fleet) scanSats(fill bool) {
+	for si := range f.shells {
+		m := &f.shells[si]
+		pos := f.shellPos[si]
+		for j, en := range m.enabled {
+			if !en {
+				continue
+			}
+			s := int32(m.offset + j)
+			p := pos[j]
+			norm := math.Sqrt(p.X*p.X + p.Y*p.Y + p.Z*p.Z)
+			satLat := math.Asin(p.Z / norm)
+			satLon := math.Atan2(p.Y, p.X)
+			sinLatS, cosLatS := math.Sincos(satLat)
+			for r := range f.grid.rows {
+				row := &f.grid.rows[r]
+				reach := m.reach + row.radius
+				if math.Abs(satLat-row.midLat) > reach {
+					continue
+				}
+				cosReach := math.Cos(reach)
+				a := sinLatS * row.sinMid
+				b := cosLatS * row.cosMid
+				if b <= 1e-12 {
+					// Polar degeneracy: the window is all-or-nothing.
+					if a >= cosReach {
+						f.admitRow(row, 0, int(row.nLon)-1, s, fill)
+					}
+					continue
+				}
+				x := (cosReach - a) / b
+				if x > 1 {
+					continue
+				}
+				if x <= -1 {
+					f.admitRow(row, 0, int(row.nLon)-1, s, fill)
+					continue
+				}
+				dlon := math.Acos(x)
+				w := row.width
+				kLo := int(math.Ceil((satLon+math.Pi-dlon)/w - 0.5))
+				kHi := int(math.Floor((satLon+math.Pi+dlon)/w - 0.5))
+				if kHi-kLo+1 >= int(row.nLon) {
+					f.admitRow(row, 0, int(row.nLon)-1, s, fill)
+					continue
+				}
+				f.admitRow(row, kLo, kHi, s, fill)
+			}
+		}
+	}
+}
+
+// admitRow admits satellite s into cells kLo..kHi of a row (inclusive,
+// wrapping modulo the row width).
+func (f *Fleet) admitRow(row *gridRow, kLo, kHi int, s int32, fill bool) {
+	n := int(row.nLon)
+	for k := kLo; k <= kHi; k++ {
+		kk := k % n
+		if kk < 0 {
+			kk += n
+		}
+		c := row.start + int32(kk)
+		if fill {
+			f.cands[f.candFill[c]] = s
+			f.candFill[c]++
+		} else {
+			f.candCount[c]++
+		}
+	}
+}
+
+// sinElevation returns sin(elevation) of a satellite position seen from
+// terminal t — the one shared formula both assignment paths compare, so
+// fast and reference argmax decisions are bitwise identical.
+func (f *Fleet) sinElevation(t int, sp geo.ECEF) float64 {
+	dx := sp.X - f.px[t]
+	dy := sp.Y - f.py[t]
+	dz := sp.Z - f.pz[t]
+	dn := math.Sqrt(dx*dx + dy*dy + dz*dz)
+	return (dx*f.px[t] + dy*f.py[t] + dz*f.pz[t]) / (dn * f.pnorm[t])
+}
+
+// assignRange assigns terminals [lo, hi) from the candidate CSR.
+func (f *Fleet) assignRange(lo, hi int) {
+	for t := lo; t < hi; t++ {
+		c := f.cell[t]
+		best := int32(-1)
+		bestSin := -2.0
+		for _, s := range f.cands[f.candStart[c]:f.candStart[c+1]] {
+			sinEl := f.sinElevation(t, f.satPos(s))
+			if sinEl < f.sinMask || sinEl <= bestSin {
+				continue
+			}
+			best, bestSin = s, sinEl
+		}
+		f.finishAssignment(t, best)
+	}
+}
+
+// ReferenceReassignAt is the naive O(terminals × constellation) scan the
+// equivalence suite holds the cell-indexed path to: every terminal tests
+// every enabled satellite, ascending in flat id, with the same
+// sinElevation comparison and the same gateway/delay finish. Kept
+// in-tree, never fast-pathed.
+func (f *Fleet) ReferenceReassignAt(at sim.Time) {
+	snap := f.con.SnapshotAt(at)
+	for si := range f.shells {
+		f.shellPos[si] = snap.ShellPositions(si)
+	}
+	for t := range f.sat {
+		best := int32(-1)
+		bestSin := -2.0
+		for si := range f.shells {
+			m := &f.shells[si]
+			pos := f.shellPos[si]
+			for j, en := range m.enabled {
+				if !en {
+					continue
+				}
+				sinEl := f.sinElevation(t, pos[j])
+				if sinEl < f.sinMask || sinEl <= bestSin {
+					continue
+				}
+				best, bestSin = int32(m.offset+j), sinEl
+			}
+		}
+		f.finishAssignment(t, best)
+	}
+}
+
+// satPos resolves a flat satellite id against the current epoch's
+// snapshot slices.
+func (f *Fleet) satPos(s int32) geo.ECEF {
+	for si := len(f.shells) - 1; si >= 0; si-- {
+		if m := &f.shells[si]; int(s) >= m.offset {
+			return f.shellPos[si][int(s)-m.offset]
+		}
+	}
+	return geo.ECEF{}
+}
+
+// finishAssignment records terminal t's serving satellite and derives
+// the gateway and bent-pipe delay. A terminal with no satellite, or
+// whose satellite reaches no gateway, is in outage (delay -1). The
+// gateway does not feed back into satellite choice — unlike
+// leo.Terminal, which skips satellites without ground paths, the fleet
+// model treats "satellite overhead but no gateway" as an outage, the
+// situation remote-area dishes actually experience.
+func (f *Fleet) finishAssignment(t int, best int32) {
+	f.sat[t] = best
+	if best < 0 {
+		f.gw[t] = -1
+		f.delayNs[t] = -1
+		return
+	}
+	sp := f.satPos(best)
+	g := f.bestGateway(sp)
+	f.gw[t] = g
+	if g < 0 {
+		f.delayNs[t] = -1
+		return
+	}
+	dx := sp.X - f.px[t]
+	dy := sp.Y - f.py[t]
+	dz := sp.Z - f.pz[t]
+	up := math.Sqrt(dx*dx + dy*dy + dz*dz)
+	e := f.gwEcef[g]
+	dx, dy, dz = sp.X-e.X, sp.Y-e.Y, sp.Z-e.Z
+	down := math.Sqrt(dx*dx + dy*dy + dz*dz)
+	f.delayNs[t] = int64(geo.RadioDelay(up + down))
+}
+
+// bestGateway returns the gateway with the shortest slant range that
+// sees the satellite above its mask, or -1. Same cross-multiplied sine
+// test as leo.Terminal.bestGateway; ties keep the first (lowest index).
+func (f *Fleet) bestGateway(sp geo.ECEF) int32 {
+	best := int32(-1)
+	bestRange := 0.0
+	for i := range f.gwEcef {
+		e := f.gwEcef[i]
+		dx := sp.X - e.X
+		dy := sp.Y - e.Y
+		dz := sp.Z - e.Z
+		dn := math.Sqrt(dx*dx + dy*dy + dz*dz)
+		if dx*e.X+dy*e.Y+dz*e.Z < f.gwSinMask[i]*dn*f.gwNorm[i] {
+			continue
+		}
+		if best < 0 || dn < bestRange {
+			best, bestRange = int32(i), dn
+		}
+	}
+	return best
+}

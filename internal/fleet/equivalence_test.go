@@ -1,0 +1,170 @@
+package fleet
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+	"time"
+
+	"starlinkperf/internal/geo"
+	"starlinkperf/internal/leo"
+	"starlinkperf/internal/obs"
+	"starlinkperf/internal/sim"
+)
+
+// miniShell is a reduced Walker shell for tests that run the O(N×M)
+// reference scan many times: same altitude and inclination class as Gen1,
+// 288 slots instead of 1584.
+func miniShell() leo.ShellConfig {
+	return leo.ShellConfig{
+		Name:           "mini",
+		AltKm:          550,
+		InclinationDeg: 53,
+		Planes:         24,
+		SatsPerPlane:   12,
+		PhasingF:       5,
+	}
+}
+
+// bandClusters returns a cluster set confined to one latitude band, so
+// the equivalence suite exercises equatorial cells (widest), mid-latitude
+// cells (the population bulk) and the coverage edge (where pruning
+// windows degenerate).
+func bandClusters(band string) []Cluster {
+	switch band {
+	case "equatorial":
+		return []Cluster{
+			{"singapore", "asia", geo.LatLon{LatDeg: 1.35, LonDeg: 103.82}, 80, 5},
+			{"bogota", "south-america", geo.LatLon{LatDeg: 4.71, LonDeg: -74.07}, 100, 4},
+			{"nairobi", "africa", geo.LatLon{LatDeg: -1.29, LonDeg: 36.82}, 100, 4},
+		}
+	case "mid":
+		return []Cluster{
+			{"brussels", "europe", geo.LatLon{LatDeg: 50.85, LonDeg: 4.35}, 100, 5},
+			{"seattle", "north-america", geo.LatLon{LatDeg: 47.61, LonDeg: -122.33}, 100, 4},
+			{"sydney", "oceania", geo.LatLon{LatDeg: -33.87, LonDeg: 151.21}, 120, 6},
+		}
+	case "high":
+		return []Cluster{
+			{"tromso", "high-north", geo.LatLon{LatDeg: 69.65, LonDeg: 18.96}, 60, 1},
+			{"fairbanks", "high-north", geo.LatLon{LatDeg: 64.84, LonDeg: -147.72}, 80, 1},
+			{"punta-arenas", "south-america", geo.LatLon{LatDeg: -53.16, LonDeg: -70.91}, 80, 2},
+		}
+	}
+	panic("unknown band " + band)
+}
+
+func equivConfig(seed uint64, band string) Config {
+	return Config{
+		Seed:      seed,
+		Terminals: 800,
+		Horizon:   5 * time.Minute,
+		Epoch:     15 * time.Second,
+		Clusters:  bandClusters(band),
+		Shells:    []leo.ShellConfig{miniShell()},
+	}
+}
+
+// TestCellIndexMatchesReference is the core equivalence suite: for every
+// (seed, latitude band) case, the cell-indexed reassignment must produce
+// bit-identical serving satellites, gateways and delays to the naive
+// all-satellites scan, epoch by epoch.
+func TestCellIndexMatchesReference(t *testing.T) {
+	for _, seed := range []uint64{1, 7, 42} {
+		for _, band := range []string{"equatorial", "mid", "high"} {
+			cfg := equivConfig(seed, band)
+			fast := New(cfg)
+			ref := New(cfg)
+			for e := 0; e < 16; e++ {
+				at := sim.Time(int64(e) * int64(cfg.Epoch))
+				fast.ReassignAt(at)
+				ref.ReferenceReassignAt(at)
+				if !reflect.DeepEqual(fast.sat, ref.sat) {
+					t.Fatalf("seed %d band %s epoch %d: serving sats diverge", seed, band, e)
+				}
+				if !reflect.DeepEqual(fast.gw, ref.gw) {
+					t.Fatalf("seed %d band %s epoch %d: gateways diverge", seed, band, e)
+				}
+				if !reflect.DeepEqual(fast.delayNs, ref.delayNs) {
+					t.Fatalf("seed %d band %s epoch %d: delays diverge", seed, band, e)
+				}
+			}
+		}
+	}
+}
+
+// runWithSink runs a full campaign with observability attached and
+// returns the result plus canonical metric/trace exports.
+func runWithSink(cfg Config) (*Result, []byte, []byte) {
+	sink := obs.NewSink(0)
+	cfg.Obs = sink
+	res := New(cfg).Run()
+	col := obs.NewCollector()
+	col.Add("fleet/0000", sink)
+	return res, col.ExportMetricsJSON(), col.ExportTraceBinary()
+}
+
+// TestRunReferenceEquivalence drives two whole campaigns — cell-indexed
+// and reference — through the full pipeline including beam contention and
+// observability, and demands identical results and identical exported
+// bytes.
+func TestRunReferenceEquivalence(t *testing.T) {
+	cfg := equivConfig(3, "mid")
+	cfg.Horizon = 4 * time.Minute
+	fast, fastMetrics, fastTrace := runWithSink(cfg)
+	cfg.Reference = true
+	ref, refMetrics, refTrace := runWithSink(cfg)
+	if !reflect.DeepEqual(fast, ref) {
+		t.Fatalf("results diverge:\nfast: %+v\nref:  %+v", fast, ref)
+	}
+	if !bytes.Equal(fastMetrics, refMetrics) {
+		t.Error("metrics exports differ between cell-indexed and reference campaigns")
+	}
+	if !bytes.Equal(fastTrace, refTrace) {
+		t.Error("trace exports differ between cell-indexed and reference campaigns")
+	}
+}
+
+// TestRunWorkerInvariance: the same campaign at 1 and 8 workers must
+// produce identical results and byte-identical exports — reassignment
+// fans out, but every terminal is a pure function of the snapshot.
+func TestRunWorkerInvariance(t *testing.T) {
+	cfg := equivConfig(11, "mid")
+	cfg.Horizon = 4 * time.Minute
+	cfg.Workers = 1
+	one, oneMetrics, oneTrace := runWithSink(cfg)
+	cfg.Workers = 8
+	eight, eightMetrics, eightTrace := runWithSink(cfg)
+	if !reflect.DeepEqual(one, eight) {
+		t.Fatalf("results diverge across worker counts:\n1: %+v\n8: %+v", one, eight)
+	}
+	if !bytes.Equal(oneMetrics, eightMetrics) {
+		t.Error("metrics exports differ across worker counts")
+	}
+	if !bytes.Equal(oneTrace, eightTrace) {
+		t.Error("trace exports differ across worker counts")
+	}
+}
+
+// TestReassignWorkerInvariance checks the assignment arrays directly
+// across worker counts, epoch by epoch, on the full Gen1 shell.
+func TestReassignWorkerInvariance(t *testing.T) {
+	base := Config{Seed: 9, Terminals: 3000, Workers: 1}
+	fleets := []*Fleet{New(base)}
+	for _, w := range []int{2, 8} {
+		cfg := base
+		cfg.Workers = w
+		fleets = append(fleets, New(cfg))
+	}
+	for e := 0; e < 6; e++ {
+		at := sim.Time(int64(e) * int64(15*time.Second))
+		for _, fl := range fleets {
+			fl.ReassignAt(at)
+		}
+		for i, fl := range fleets[1:] {
+			if !reflect.DeepEqual(fleets[0].sat, fl.sat) || !reflect.DeepEqual(fleets[0].delayNs, fl.delayNs) {
+				t.Fatalf("epoch %d: worker variant %d diverges from single-worker", e, i)
+			}
+		}
+	}
+}

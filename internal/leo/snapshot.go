@@ -29,6 +29,14 @@ func (s *Snapshot) shellPositions(shell int) []geo.ECEF {
 	return s.pos[shell]
 }
 
+// ShellPositions exposes shellPositions to other packages: the fleet cell
+// index sweeps entire shells per epoch and indexes positions by flat id,
+// so handing out the backing slice avoids a SatID round-trip per
+// satellite. The slice is shared storage — callers must not mutate it.
+func (s *Snapshot) ShellPositions(shell int) []geo.ECEF {
+	return s.pos[shell]
+}
+
 // snapshotRing is the number of distinct instants the constellation keeps
 // positions for. Epoch-aligned callers (terminals, Handovers) share one
 // entry per epoch; the ISL router and delay probes add a few more. The

@@ -31,13 +31,16 @@ const (
 	KindSplice
 	// KindProbeLost: an ICMP echo probe timed out. A = sequence number, B = 0.
 	KindProbeLost
+	// KindFleetEpoch: a fleet region finished a reassignment epoch. A =
+	// terminals in outage this epoch, B = handovers this epoch.
+	KindFleetEpoch
 
-	numKinds = int(KindProbeLost) + 1
+	numKinds = int(KindFleetEpoch) + 1
 )
 
 var kindNames = [numKinds]string{
 	"drop", "enqueue", "dequeue", "handover", "outage",
-	"rto", "pto", "splice", "probe_lost",
+	"rto", "pto", "splice", "probe_lost", "fleet_epoch",
 }
 
 func (k Kind) String() string {

@@ -1,0 +1,58 @@
+package stats
+
+import "math"
+
+// FixedDist is a fixed-width bucket histogram with deterministic
+// quantiles: unlike Series it never stores samples, so campaigns with
+// millions of observations (the fleet scenario's terminal-epochs) cost
+// a few KB of fixed memory. Out-of-range values clamp into the edge
+// buckets. The zero value is unusable; construct with NewFixedDist.
+type FixedDist struct {
+	width  float64
+	counts []int64
+	n      int64
+}
+
+// NewFixedDist returns a distribution of `buckets` buckets of `width`
+// each, covering [0, width·buckets).
+func NewFixedDist(width float64, buckets int) FixedDist {
+	return FixedDist{width: width, counts: make([]int64, buckets)}
+}
+
+// Observe records one value.
+func (d *FixedDist) Observe(v float64) {
+	i := int(v / d.width)
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(d.counts) {
+		i = len(d.counts) - 1
+	}
+	d.counts[i]++
+	d.n++
+}
+
+// N returns the observation count.
+func (d *FixedDist) N() int64 { return d.n }
+
+// Quantile returns the q-quantile (0 < q <= 1) as the midpoint of the
+// bucket holding the ceil(q·n)-th observation — a pure function of the
+// counts, so invariant to observation order and worker count. Returns 0
+// on an empty distribution.
+func (d *FixedDist) Quantile(q float64) float64 {
+	if d.n == 0 {
+		return 0
+	}
+	target := int64(math.Ceil(q * float64(d.n)))
+	if target < 1 {
+		target = 1
+	}
+	cum := int64(0)
+	for i, c := range d.counts {
+		cum += c
+		if cum >= target {
+			return (float64(i) + 0.5) * d.width
+		}
+	}
+	return float64(len(d.counts)) * d.width
+}

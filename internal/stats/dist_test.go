@@ -1,0 +1,53 @@
+package stats
+
+import "testing"
+
+// TestFixedDistQuantile pins the quantile rule (midpoint of the bucket
+// holding the ceil(q·n)-th observation) and the edge-bucket clamping.
+func TestFixedDistQuantile(t *testing.T) {
+	d := NewFixedDist(1, 10)
+	if got := d.Quantile(0.5); got != 0 {
+		t.Errorf("empty p50 = %v, want 0", got)
+	}
+	for _, v := range []float64{0.2, 1.2, 2.2, 3.2} {
+		d.Observe(v)
+	}
+	if got := d.Quantile(0.5); got != 1.5 {
+		t.Errorf("p50 = %v, want 1.5", got)
+	}
+	if got := d.Quantile(1); got != 3.5 {
+		t.Errorf("p100 = %v, want 3.5", got)
+	}
+	// Clamping: out-of-range observations land in the edge buckets.
+	d.Observe(-5)
+	d.Observe(999)
+	if d.N() != 6 {
+		t.Fatalf("n = %d, want 6", d.N())
+	}
+	if got := d.Quantile(1); got != 9.5 {
+		t.Errorf("p100 after overflow = %v, want 9.5", got)
+	}
+	if got := d.Quantile(0.001); got != 0.5 {
+		t.Errorf("p0.1 after underflow = %v, want 0.5", got)
+	}
+}
+
+// TestFixedDistOrderInvariance: quantiles depend only on counts, not on
+// observation order — the property the fleet's worker-invariant exports
+// rely on.
+func TestFixedDistOrderInvariance(t *testing.T) {
+	vals := []float64{7.3, 1.1, 4.4, 4.5, 9.9, 0.0, 2.8, 7.3}
+	a := NewFixedDist(0.5, 40)
+	b := NewFixedDist(0.5, 40)
+	for _, v := range vals {
+		a.Observe(v)
+	}
+	for i := len(vals) - 1; i >= 0; i-- {
+		b.Observe(vals[i])
+	}
+	for _, q := range []float64{0.1, 0.25, 0.5, 0.9, 0.95, 1} {
+		if a.Quantile(q) != b.Quantile(q) {
+			t.Errorf("q=%v: %v (forward) != %v (reverse)", q, a.Quantile(q), b.Quantile(q))
+		}
+	}
+}
