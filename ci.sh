@@ -42,18 +42,26 @@ trap 'rm -rf "$ci_tmp"' EXIT
 go run ./cmd/starlink-bench -quick -workers 2 -bench.json "$ci_tmp/bench.json" >/dev/null
 go run ./cmd/starlink-bench -validate "$ci_tmp/bench.json"
 
-echo "== observability determinism (double run, byte-diffed exports)"
-# Same quick campaign twice with different worker counts: the metrics
-# registry and the binary event trace must come out byte-identical, or
-# the sim has a nondeterminism leak. Every quick run includes the
-# 10k-terminal fleet scenario, so this also byte-diffs the fleet's
-# per-region metrics, epoch trace, and figures table at 1 vs 8 workers.
-go run ./cmd/starlink-bench -quick -workers 1 \
+echo "== observability determinism (triple run, byte-diffed exports)"
+# Same quick campaign three times with different worker AND PDES
+# scenario-worker counts: the metrics registry and the binary event
+# trace must come out byte-identical, or the sim has a nondeterminism
+# leak. Every quick run includes the 10k-terminal fleet scenario and the
+# packet-level traffic scenario on the conservative PDES engine, so this
+# byte-diffs the fleet's per-region metrics, the traffic scenario's
+# probe counters and RTT histograms, the epoch trace, and the figures
+# table across -scenario.workers 1/2/8.
+go run ./cmd/starlink-bench -quick -workers 1 -scenario.workers 1 \
     -trace "$ci_tmp/trace1.bin" -metrics.json "$ci_tmp/metrics1.json" >"$ci_tmp/figures1.txt"
-go run ./cmd/starlink-bench -quick -workers 8 \
+go run ./cmd/starlink-bench -quick -workers 4 -scenario.workers 2 \
     -trace "$ci_tmp/trace2.bin" -metrics.json "$ci_tmp/metrics2.json" >"$ci_tmp/figures2.txt"
+go run ./cmd/starlink-bench -quick -workers 8 -scenario.workers 8 \
+    -trace "$ci_tmp/trace3.bin" -metrics.json "$ci_tmp/metrics3.json" >"$ci_tmp/figures3.txt"
 cmp "$ci_tmp/trace1.bin" "$ci_tmp/trace2.bin"
+cmp "$ci_tmp/trace1.bin" "$ci_tmp/trace3.bin"
 cmp "$ci_tmp/metrics1.json" "$ci_tmp/metrics2.json"
+cmp "$ci_tmp/metrics1.json" "$ci_tmp/metrics3.json"
 cmp "$ci_tmp/figures1.txt" "$ci_tmp/figures2.txt"
+cmp "$ci_tmp/figures1.txt" "$ci_tmp/figures3.txt"
 
 echo "CI: all green"

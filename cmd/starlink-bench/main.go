@@ -41,20 +41,22 @@ func main() {
 
 // sizes fixes every campaign dimension of one bench run.
 type sizes struct {
-	latDays     time.Duration
-	latInterval time.Duration
-	h3Down      int
-	h3Up        int
-	h3Size      int
-	msgSessions int
-	msgDur      time.Duration
-	stStarlink  int
-	stSatCom    int
-	webVisits   int
-	weheRepeats int
-	baseline    int
-	fleetTerms  int
-	fleetSpan   time.Duration
+	latDays      time.Duration
+	latInterval  time.Duration
+	h3Down       int
+	h3Up         int
+	h3Size       int
+	msgSessions  int
+	msgDur       time.Duration
+	stStarlink   int
+	stSatCom     int
+	webVisits    int
+	weheRepeats  int
+	baseline     int
+	fleetTerms   int
+	fleetSpan    time.Duration
+	trafficTerms int
+	trafficSpan  time.Duration
 }
 
 func sizesFor(scale int, quick bool) sizes {
@@ -66,6 +68,7 @@ func sizesFor(scale int, quick bool) sizes {
 			stStarlink: 2, stSatCom: 2,
 			webVisits: 4, weheRepeats: 1, baseline: 1,
 			fleetTerms: 10000, fleetSpan: 2 * time.Hour,
+			trafficTerms: 4000, trafficSpan: 30 * time.Second,
 		}
 	}
 	latInterval := 30 * time.Minute
@@ -79,6 +82,7 @@ func sizesFor(scale int, quick bool) sizes {
 		stStarlink: 16 * scale, stSatCom: 8 * scale,
 		webVisits: 40 * scale, weheRepeats: min(10, 2*scale), baseline: 4,
 		fleetTerms: 20000, fleetSpan: time.Duration(min(24, 6*scale)) * time.Hour,
+		trafficTerms: 10000, trafficSpan: time.Duration(min(8, 2*scale)) * time.Minute,
 	}
 }
 
@@ -88,6 +92,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	scale := fs.Int("scale", 1, "campaign scale factor")
 	seed := fs.Uint64("seed", 1, "simulation seed")
 	workers := fs.Int("workers", 0, "parallel campaign workers (0 = GOMAXPROCS)")
+	scenarioWorkers := fs.Int("scenario.workers", 0, "PDES workers inside the fleet traffic scenario (0 = GOMAXPROCS); never changes results")
 	quick := fs.Bool("quick", false, "tiny smoke-sized campaigns for CI (ignores -scale)")
 	benchJSON := fs.String("bench.json", "", "write headline metrics as JSON to this file")
 	tracePath := fs.String("trace", "", "write the event trace here (.jsonl extension selects JSON Lines, anything else the OTR1 binary format)")
@@ -222,9 +227,10 @@ func run(args []string, stdout, stderr io.Writer) error {
 		collector = obs.NewCollector()
 	}
 	opts := core.Options{
-		Workers: *workers,
-		Seed:    *seed,
-		Obs:     collector,
+		Workers:         *workers,
+		ScenarioWorkers: *scenarioWorkers,
+		Seed:            *seed,
+		Obs:             collector,
 		Progress: func(done, total int) {
 			fmt.Fprintf(stderr, "campaigns: %d/%d done\n", done, total)
 		},
@@ -232,6 +238,16 @@ func run(args []string, stdout, stderr io.Writer) error {
 	nw := *workers
 	if nw <= 0 {
 		nw = runtime.GOMAXPROCS(0)
+	}
+	// The PDES engine microbench runs first, before the campaign sweep
+	// and fleet scenarios fill the heap: its validator gates reason about
+	// engine-intrinsic run-phase cost, and GC pacing scales with the
+	// surrounding live heap, not with the engine — timing it in a quiet
+	// process state keeps that bias out of the overhead measurement.
+	var pdesRep pdesReport
+	if *benchJSON != "" {
+		fmt.Fprintf(stderr, "pdes microbench: reference + 1/2/4/8-worker sweep...\n")
+		pdesRep = pdesMicrobench(*quick, *seed)
 	}
 	fmt.Fprintf(stderr, "running %d campaigns on %d workers...\n", len(jobs), nw)
 	started := time.Now()
@@ -242,6 +258,16 @@ func run(args []string, stdout, stderr io.Writer) error {
 	// join the collector as the "fleet/0000" source.
 	fmt.Fprintf(stderr, "fleet: %d terminals over %v...\n", sz.fleetTerms, sz.fleetSpan)
 	fleetRes := core.RunFleetScenario(fleet.Config{Terminals: sz.fleetTerms, Horizon: sz.fleetSpan}, opts)
+
+	// The packet-level traffic scenario exercises the conservative-PDES
+	// engine: the same fleet, but every terminal actually probing its
+	// gateway through the emulated network, partitioned spatially and
+	// driven by -scenario.workers goroutines. Output is bit-identical for
+	// any worker count (ci.sh byte-diffs it).
+	fmt.Fprintf(stderr, "traffic: %d terminals over %v (PDES)...\n", sz.trafficTerms, sz.trafficSpan)
+	trafficRes := core.RunFleetTraffic(fleet.TrafficConfig{
+		Fleet: fleet.Config{Terminals: sz.trafficTerms, Horizon: sz.trafficSpan, Epoch: 15 * time.Second},
+	}, opts)
 	wall := time.Since(started)
 
 	fig1 := core.Figure1(lat, latAnchors)
@@ -285,6 +311,8 @@ func run(args []string, stdout, stderr io.Writer) error {
 	core.RenderWehe(&out, "starlink", weheDs)
 	out.WriteString("\n")
 	renderFleet(&out, fleetRes)
+	out.WriteString("\n")
+	renderTraffic(&out, trafficRes)
 
 	fmt.Fprintf(&out, "\nWired-baseline H3 downloads: %d packets sent, %d lost (paper: 10 of 5.8M)\n", baseSent, baseLost)
 
@@ -312,6 +340,8 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if *benchJSON != "" {
 		rep := makeBenchReport(*scale, *quick, nw, *seed, wall, fig1, t2, fig5)
 		rep.Fleet = makeFleetReport(fleetRes, *quick)
+		rep.Pdes = pdesRep
+		renderPdes(stdout, rep.Pdes)
 		rep.Obs = collector.Snapshot()
 		blob, err := json.MarshalIndent(rep, "", "  ")
 		if err != nil {
@@ -363,6 +393,7 @@ type benchReport struct {
 	Scheduler  schedulerReport    `json:"scheduler"`
 	PacketPath packetPathReport   `json:"packet_path"`
 	Fleet      fleetReport        `json:"fleet"`
+	Pdes       pdesReport         `json:"pdes"`
 }
 
 const benchSchema = "starlink-bench/v1"
@@ -379,6 +410,11 @@ type geometryReport struct {
 	DelayNsPerCall    float64 `json:"delay_ns_per_call"`
 	ISLPathNsPerCall  float64 `json:"isl_path_ns_per_call"`
 	ISLPathInstants   int     `json:"isl_path_instants"`
+	// ISLPathMemoNsPerCall times PathDelay at a repeated instant, where
+	// the per-snapshot route memo answers without re-running Dijkstra —
+	// the pattern the PDES traffic scenario hits when every terminal in a
+	// partition routes within the same position epoch.
+	ISLPathMemoNsPerCall float64 `json:"isl_path_memo_ns_per_call"`
 }
 
 func makeBenchReport(scale int, quick bool, workers int, seed uint64, wall time.Duration, fig1 []core.Figure1Row, t2 core.Table2, fig5 core.Figure5) benchReport {
@@ -480,15 +516,28 @@ func geometryMicrobench(quick bool) geometryReport {
 	}
 	islNs := float64(time.Since(start).Nanoseconds()) / float64(islN)
 
+	// Memo path: hammer one already-cached (instant, endpoints, mask)
+	// tuple. The first call primes the ring; the loop then measures pure
+	// hits.
+	memoN := islN * 1000
+	memoAt := sim.Time(int64(islN-1) * int64(time.Minute))
+	router.PathDelay(memoAt, pos, singapore, 25)
+	start = time.Now()
+	for i := 0; i < memoN; i++ {
+		router.PathDelay(memoAt, pos, singapore, 25)
+	}
+	memoNs := float64(time.Since(start).Nanoseconds()) / float64(memoN)
+
 	return geometryReport{
-		FastEpochs:        fastN,
-		NaiveEpochs:       naiveN,
-		FastNsPerEpoch:    fastNs,
-		NaiveNsPerEpoch:   naiveNs,
-		AssignmentSpeedup: naiveNs / fastNs,
-		DelayNsPerCall:    delayNs,
-		ISLPathNsPerCall:  islNs,
-		ISLPathInstants:   islN,
+		FastEpochs:           fastN,
+		NaiveEpochs:          naiveN,
+		FastNsPerEpoch:       fastNs,
+		NaiveNsPerEpoch:      naiveNs,
+		AssignmentSpeedup:    naiveNs / fastNs,
+		DelayNsPerCall:       delayNs,
+		ISLPathNsPerCall:     islNs,
+		ISLPathInstants:      islN,
+		ISLPathMemoNsPerCall: memoNs,
 	}
 }
 
@@ -710,6 +759,10 @@ func validateBenchJSON(path string) error {
 	if g.FastNsPerEpoch <= 0 || g.NaiveNsPerEpoch <= 0 || g.DelayNsPerCall <= 0 || g.ISLPathNsPerCall <= 0 {
 		return fmt.Errorf("geometry section incomplete: %+v", g)
 	}
+	if g.ISLPathMemoNsPerCall <= 0 || g.ISLPathMemoNsPerCall >= g.ISLPathNsPerCall {
+		return fmt.Errorf("geometry isl_path_memo_ns_per_call = %v, want in (0, %v): memo should beat the full search",
+			g.ISLPathMemoNsPerCall, g.ISLPathNsPerCall)
+	}
 	s := rep.Scheduler
 	if s.Events == 0 || s.NsPerEvent <= 0 || s.EventsPerSec <= 0 || s.RefNsPerEvent <= 0 || s.RefAllocsPerEvent <= 0 {
 		return fmt.Errorf("scheduler section incomplete: %+v", s)
@@ -732,5 +785,8 @@ func validateBenchJSON(path string) error {
 	if p.PoolHitRate <= 0 || p.PoolHitRate > 1 {
 		return fmt.Errorf("packet_path pool_hit_rate = %v, want in (0, 1]", p.PoolHitRate)
 	}
-	return validateFleetReport(rep.Fleet)
+	if err := validateFleetReport(rep.Fleet); err != nil {
+		return err
+	}
+	return validatePdesReport(rep.Pdes)
 }

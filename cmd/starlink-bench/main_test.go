@@ -121,7 +121,7 @@ func TestValidateBenchJSON(t *testing.T) {
 		},
 		Geometry: geometryReport{
 			FastNsPerEpoch: 1000, NaiveNsPerEpoch: 50000,
-			DelayNsPerCall: 100, ISLPathNsPerCall: 1e6,
+			DelayNsPerCall: 100, ISLPathNsPerCall: 1e6, ISLPathMemoNsPerCall: 50,
 		},
 		Scheduler: schedulerReport{
 			Events: 1 << 20, NsPerEvent: 70, AllocsPerEvent: 0, EventsPerSec: 1.4e7,
@@ -140,6 +140,18 @@ func TestValidateBenchJSON(t *testing.T) {
 				{Region: "europe", Terminals: 2500, OutagePct: 1.1, LatencyP50Ms: 35,
 					LatencyP95Ms: 60, Handovers: 12000, PeakMbpsP50: 40, OffPeakMbpsP50: 70, PeakDipPct: 42},
 			},
+		},
+		Pdes: pdesReport{
+			Terminals: 2000, Partitions: 16, ProbesSent: 20000, ProbesRecv: 19000,
+			Windows: 2700, Events: 500000, Cores: 8,
+			RefWallSeconds: 1.0,
+			WorkerSweep: []pdesWorkerPoint{
+				{Workers: 1, WallSeconds: 1.05, Speedup: 0.95},
+				{Workers: 2, WallSeconds: 0.6, Speedup: 1.67},
+				{Workers: 4, WallSeconds: 0.35, Speedup: 2.86},
+				{Workers: 8, WallSeconds: 0.3, Speedup: 3.33},
+			},
+			Speedup8W: 3.33, OneWorkerOverheadPct: 5, ResultsMatch: true,
 		},
 	}
 	write := func(t *testing.T, rep benchReport) string {
@@ -182,6 +194,18 @@ func TestValidateBenchJSON(t *testing.T) {
 		"fleet no regions":      func(r *benchReport) { r.Fleet.Regions = nil },
 		"fleet bad outage":      func(r *benchReport) { r.Fleet.OutagePct = 101 },
 		"fleet timings missing": func(r *benchReport) { r.Fleet.CellNsPerEpoch = 0 },
+		"memo timing missing":   func(r *benchReport) { r.Geometry.ISLPathMemoNsPerCall = 0 },
+		"memo slower than full search": func(r *benchReport) {
+			r.Geometry.ISLPathMemoNsPerCall = r.Geometry.ISLPathNsPerCall
+		},
+		"no pdes":                func(r *benchReport) { r.Pdes = pdesReport{} },
+		"pdes results mismatch":  func(r *benchReport) { r.Pdes.ResultsMatch = false },
+		"pdes 1w overhead >=10%": func(r *benchReport) { r.Pdes.OneWorkerOverheadPct = 12 },
+		"pdes sweep truncated":   func(r *benchReport) { r.Pdes.WorkerSweep = r.Pdes.WorkerSweep[:2] },
+		"pdes speedup below floor on 8 cores": func(r *benchReport) {
+			r.Pdes.Cores = 8
+			r.Pdes.Speedup8W = 2.0
+		},
 	}
 	for name, mutate := range broken {
 		rep := valid

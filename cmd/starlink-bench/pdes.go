@@ -1,0 +1,213 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"reflect"
+	"runtime"
+	"time"
+
+	"starlinkperf/internal/fleet"
+)
+
+// pdesWorkerPoint is one row of the worker sweep: the same partitioned
+// scenario driven by a different number of goroutines. Results are
+// bit-identical across rows; only wall-clock moves.
+type pdesWorkerPoint struct {
+	Workers     int     `json:"workers"`
+	WallSeconds float64 `json:"wall_seconds"`
+	Speedup     float64 `json:"speedup"`
+}
+
+// pdesReport is the bench.json section for the conservative-PDES engine:
+// the packet-level fleet scenario run once on the single-scheduler
+// reference path and then on the partitioned driver at 1/2/4/8 workers,
+// with every run's (scrubbed) result compared against the reference.
+// speedup_8w only means anything on a machine with the cores to back it,
+// so cores is recorded and the validator gates on it.
+type pdesReport struct {
+	Terminals  int    `json:"terminals"`
+	Partitions int    `json:"partitions"`
+	ProbesSent int64  `json:"probes_sent"`
+	ProbesRecv int64  `json:"probes_recv"`
+	Windows    uint64 `json:"windows"`
+	Events     uint64 `json:"events"`
+	Cores      int    `json:"cores"`
+
+	RefWallSeconds       float64           `json:"ref_wall_seconds"`
+	WorkerSweep          []pdesWorkerPoint `json:"worker_sweep"`
+	Speedup8W            float64           `json:"speedup_8w"`
+	OneWorkerOverheadPct float64           `json:"one_worker_overhead_pct"`
+	// ResultsMatch is true iff every partitioned run's result equaled the
+	// reference run's after scrubbing the engine-dependent fields
+	// (Windows, Events, Partitions). A false here is a correctness bug,
+	// not a perf regression.
+	ResultsMatch bool `json:"results_match"`
+}
+
+// pdesScrub zeroes the fields documented as engine-dependent so results
+// from the reference path and any partition count compare equal.
+func pdesScrub(r *fleet.TrafficResult) *fleet.TrafficResult {
+	c := *r
+	c.Windows, c.Events, c.Partitions = 0, 0, 0
+	return &c
+}
+
+// pdesMicrobench runs the packet-level fleet scenario end to end on the
+// reference path and on the PDES engine at 1/2/4/8 workers, timing each
+// and checking result equivalence. Fleet.Workers is pinned to 1 so the
+// only parallelism being measured is the PDES window execution itself.
+func pdesMicrobench(quick bool, seed uint64) pdesReport {
+	terms, horizon, epoch := 10000, 30*time.Second, 15*time.Second
+	if quick {
+		terms, horizon, epoch = 2000, 10*time.Second, 5*time.Second
+	}
+	mk := func(workers int, reference bool) fleet.TrafficConfig {
+		return fleet.TrafficConfig{
+			Fleet:                 fleet.Config{Seed: seed, Terminals: terms, Horizon: horizon, Epoch: epoch, Workers: 1},
+			Partitions:            16,
+			ScenarioWorkers:       workers,
+			ReferencePartitioning: reference,
+		}
+	}
+	// Timed region: the engine's Run phase only. Building the scenario
+	// (networks, routers, FIBs) allocates heavily and its GC cost depends
+	// on how much live heap the surrounding process carries — timing it
+	// would measure the allocator, not the engine. The run phase rides
+	// the pooled zero-allocation datapath, so it is the stable,
+	// engine-shaped quantity the overhead/speedup gates reason about.
+	// Even so, one-shot walls on a busy machine are noisy: every
+	// configuration is timed five times in interleaved rounds (so a
+	// slow phase lands on all of them rather than biasing one) and keeps
+	// its best wall. Results are checked on every single run.
+	configs := []fleet.TrafficConfig{mk(1, true), mk(1, false), mk(2, false), mk(4, false), mk(8, false)}
+	walls := make([]float64, len(configs))
+	results := make([]*fleet.TrafficResult, len(configs))
+	// The 1-worker overhead gate compares the reference and the 1-worker
+	// runs of the SAME round (they execute back to back), and keeps the
+	// best ratio across rounds: a machine hiccup landing on one run then
+	// reads as that round's outlier ratio instead of masquerading as
+	// engine cost, while a real regression inflates every round's pair.
+	overhead := 0.0
+	for round := 0; round < 5; round++ {
+		var roundWalls [2]float64
+		for i, cfg := range configs {
+			tr := fleet.NewTraffic(cfg)
+			runtime.GC() // settle build debt outside the timed region
+			start := time.Now()
+			r := tr.Run()
+			wall := time.Since(start).Seconds()
+			if results[i] == nil || wall < walls[i] {
+				walls[i], results[i] = wall, r
+			}
+			if i < 2 {
+				roundWalls[i] = wall
+			}
+		}
+		pct := 100 * (roundWalls[1] - roundWalls[0]) / roundWalls[0]
+		if round == 0 || pct < overhead {
+			overhead = pct
+		}
+	}
+	refWall, refRes := walls[0], results[0]
+
+	rep := pdesReport{
+		Terminals:      refRes.Terminals,
+		Cores:          runtime.GOMAXPROCS(0),
+		RefWallSeconds: refWall,
+		ResultsMatch:   true,
+	}
+	want := pdesScrub(refRes)
+	for i, w := range []int{1, 2, 4, 8} {
+		wall, res := walls[i+1], results[i+1]
+		rep.WorkerSweep = append(rep.WorkerSweep, pdesWorkerPoint{
+			Workers:     w,
+			WallSeconds: wall,
+			Speedup:     refWall / wall,
+		})
+		if !reflect.DeepEqual(pdesScrub(res), want) {
+			rep.ResultsMatch = false
+		}
+		switch w {
+		case 1:
+			rep.Partitions = res.Partitions
+			rep.ProbesSent = res.ProbesSent
+			rep.ProbesRecv = res.ProbesRecv
+			rep.Windows = res.Windows
+			rep.Events = res.Events
+			rep.OneWorkerOverheadPct = overhead
+		case 8:
+			rep.Speedup8W = refWall / wall
+		}
+	}
+	return rep
+}
+
+// renderTraffic prints the per-region probe table of the packet-level
+// fleet scenario — measured RTT distributions from actual ICMP exchanges
+// through the emulated bent-pipe network, as opposed to the analytic
+// latency model of the epoch campaign.
+func renderTraffic(w io.Writer, res *fleet.TrafficResult) {
+	fmt.Fprintf(w, "=== starlink-fleet traffic scenario (conservative PDES) ===\n")
+	fmt.Fprintf(w, "%d terminals, %d partitions, %d probes sent, %d received, %d skipped (outage)\n\n",
+		res.Terminals, res.Partitions, res.ProbesSent, res.ProbesRecv, res.ProbesSkipped)
+	fmt.Fprintf(w, "%-14s %9s %9s %9s %7s %8s %8s\n",
+		"region", "sent", "recv", "skipped", "loss%", "rtt p50", "rtt p95")
+	for _, rr := range res.Regions {
+		fmt.Fprintf(w, "%-14s %9d %9d %9d %7.2f %8.1f %8.1f\n",
+			rr.Region, rr.Sent, rr.Recv, rr.Skipped, rr.LossPct, rr.RTTP50Ms, rr.RTTP95Ms)
+	}
+}
+
+// renderPdes prints the engine timing sweep for the human-readable
+// report.
+func renderPdes(w io.Writer, rep pdesReport) {
+	fmt.Fprintf(w, "\n=== conservative PDES engine ===\n")
+	fmt.Fprintf(w, "%d terminals / %d partitions / %d probes / %d windows on %d core(s)\n",
+		rep.Terminals, rep.Partitions, rep.ProbesSent, rep.Windows, rep.Cores)
+	fmt.Fprintf(w, "reference (single scheduler): %.3fs\n", rep.RefWallSeconds)
+	for _, pt := range rep.WorkerSweep {
+		fmt.Fprintf(w, "pdes %d worker(s): %.3fs (%.2fx vs reference)\n",
+			pt.Workers, pt.WallSeconds, pt.Speedup)
+	}
+	fmt.Fprintf(w, "results match reference: %v\n", rep.ResultsMatch)
+}
+
+// validatePdesReport checks the pdes section of a bench.json. The
+// equivalence bit must always hold; the speedup floor applies only on
+// machines with enough cores to express it, and the single-worker engine
+// must stay within 10%% of the plain scheduler so the partitioned path
+// is never a tax when parallelism is unavailable.
+func validatePdesReport(p pdesReport) error {
+	if p.Terminals <= 0 || p.Partitions <= 0 || p.ProbesSent <= 0 || p.ProbesRecv <= 0 {
+		return fmt.Errorf("pdes section incomplete: %+v", p)
+	}
+	if p.Windows == 0 || p.Events == 0 || p.Cores <= 0 {
+		return fmt.Errorf("pdes engine counters missing: %+v", p)
+	}
+	if p.RefWallSeconds <= 0 {
+		return fmt.Errorf("pdes ref_wall_seconds = %v, want > 0", p.RefWallSeconds)
+	}
+	want := []int{1, 2, 4, 8}
+	if len(p.WorkerSweep) != len(want) {
+		return fmt.Errorf("pdes worker_sweep has %d points, want %d", len(p.WorkerSweep), len(want))
+	}
+	for i, pt := range p.WorkerSweep {
+		if pt.Workers != want[i] || pt.WallSeconds <= 0 {
+			return fmt.Errorf("pdes worker_sweep[%d] = %+v, want workers=%d with positive wall", i, pt, want[i])
+		}
+	}
+	if !p.ResultsMatch {
+		return fmt.Errorf("pdes results_match = false: partitioned runs diverged from the reference path")
+	}
+	if p.OneWorkerOverheadPct >= 10 {
+		return fmt.Errorf("pdes one_worker_overhead_pct = %.1f, want < 10", p.OneWorkerOverheadPct)
+	}
+	// The speedup target needs real cores behind the workers; on smaller
+	// machines the sweep still runs (and must stay correct), but the
+	// wall-clock floor is unenforceable.
+	if p.Cores >= 8 && p.Speedup8W < 2.5 {
+		return fmt.Errorf("pdes speedup_8w = %.2f on %d cores, want >= 2.5", p.Speedup8W, p.Cores)
+	}
+	return nil
+}

@@ -33,3 +33,36 @@ func RunFleetScenario(cfg fleet.Config, opts Options) *fleet.Result {
 	}
 	return fleet.Run(cfg)
 }
+
+// RunFleetTraffic runs the packet-level fleet scenario — every terminal
+// probing its serving gateway through the emulated bent-pipe network —
+// under the shared Options semantics. This is the conservative-PDES entry
+// point: the scenario graph is partitioned spatially and executed by
+// opts.ScenarioWorkers goroutines in barrier windows, with outputs
+// bit-identical for any worker count (the fleet equivalence suite and
+// ci.sh byte-diff enforce it). opts.Obs receives one source per
+// partition plus the embedded fleet campaign's sink, all named through
+// obs.ShardSource so exports stay worker-invariant.
+func RunFleetTraffic(cfg fleet.TrafficConfig, opts Options) *fleet.TrafficResult {
+	if opts.Seed != 0 {
+		cfg.Fleet.Seed = opts.Seed
+	}
+	if cfg.Fleet.Workers <= 0 {
+		w := opts.Workers
+		if w <= 0 {
+			w = runtime.GOMAXPROCS(0)
+		}
+		cfg.Fleet.Workers = w
+	}
+	if cfg.ScenarioWorkers <= 0 {
+		w := opts.ScenarioWorkers
+		if w <= 0 {
+			w = runtime.GOMAXPROCS(0)
+		}
+		cfg.ScenarioWorkers = w
+	}
+	if opts.Obs != nil {
+		cfg.Collector = opts.Obs
+	}
+	return fleet.RunTraffic(cfg)
+}

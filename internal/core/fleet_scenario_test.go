@@ -36,6 +36,35 @@ func TestFleetScenarioWorkerInvariance(t *testing.T) {
 	}
 }
 
+// TestFleetTrafficScenarioWorkerInvariance holds RunFleetTraffic — the
+// conservative-PDES packet scenario — to the same contract: results and
+// observability exports are byte-identical for any ScenarioWorkers value.
+func TestFleetTrafficScenarioWorkerInvariance(t *testing.T) {
+	runAt := func(workers int) (*fleet.TrafficResult, []byte, []byte) {
+		col := obs.NewCollector()
+		cfg := fleet.TrafficConfig{
+			Fleet:      fleet.Config{Terminals: 400, Horizon: 4 * time.Second, Epoch: 2 * time.Second},
+			Partitions: 4,
+		}
+		res := RunFleetTraffic(cfg, Options{Workers: 1, ScenarioWorkers: workers, Seed: 11, Obs: col})
+		return res, col.ExportMetricsJSON(), col.ExportTraceBinary()
+	}
+	r1, m1, t1 := runAt(1)
+	r8, m8, t8 := runAt(8)
+	if !reflect.DeepEqual(r1, r8) {
+		t.Errorf("results differ between 1 and 8 scenario workers:\n1: %+v\n8: %+v", r1, r8)
+	}
+	if !bytes.Equal(m1, m8) {
+		t.Error("metrics exports differ between 1 and 8 scenario workers")
+	}
+	if !bytes.Equal(t1, t8) {
+		t.Error("trace exports differ between 1 and 8 scenario workers")
+	}
+	if r1.Terminals != 400 || r1.Partitions != 4 || r1.ProbesRecv == 0 {
+		t.Errorf("unexpected scenario shape: %+v", r1)
+	}
+}
+
 // TestFleetScenarioSeedOverride: opts.Seed wins over the config seed,
 // matching the sweep runners.
 func TestFleetScenarioSeedOverride(t *testing.T) {

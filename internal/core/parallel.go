@@ -1,12 +1,12 @@
 package core
 
 import (
-	"fmt"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"starlinkperf/internal/measure"
+	"starlinkperf/internal/obs"
 	"starlinkperf/internal/sim"
 	"starlinkperf/internal/stats"
 	"starlinkperf/internal/web"
@@ -96,7 +96,7 @@ func shardTestbed(cfg Config, seed uint64, opts Options, family string, shard in
 	}
 	tb := NewTestbed(cfg)
 	if opts.Obs != nil {
-		opts.Obs.Add(fmt.Sprintf("%s/%04d", family, shard), tb.Obs)
+		opts.Obs.Add(obs.ShardSource(family, shard), tb.Obs)
 	}
 	return tb
 }

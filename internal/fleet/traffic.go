@@ -1,0 +1,550 @@
+package fleet
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"starlinkperf/internal/geo"
+	"starlinkperf/internal/leo"
+	"starlinkperf/internal/netem"
+	"starlinkperf/internal/obs"
+	"starlinkperf/internal/sim"
+	"starlinkperf/internal/stats"
+)
+
+// This file is the packet-level fleet scenario: every terminal of the
+// planet-scale fleet pings its serving gateway once per interval through
+// an emulated bent-pipe network, and the whole thing runs as one
+// conservative PDES scenario — the simulation graph is partitioned into
+// contiguous cell ranges (PartitionTerminals), each partition owns a
+// netem.Network on its own sim.Scheduler, and partitions exchange packets
+// only through sim.CrossEdges whose lookahead is the provable lower bound
+// of the bent-pipe propagation delay.
+//
+// Topology per partition p (addresses in dotted-quad):
+//
+//	terminals 10.p.0.0/16 --(D(t)-L)--> egress 172.16.p.1
+//	egress p --(L, cross edge when p!=q)--> ingress 172.16.q.2
+//	ingress q --(0)--> gateways 192.168.g (those with g mod P == q)
+//
+// and the mirror path for echo replies. The per-terminal access links
+// carry D(t)-L where D(t) is the fleet's current one-way bent-pipe delay
+// and L the lookahead, so every end-to-end direction sums to exactly D(t)
+// while every partition-crossing hop carries the constant L — the
+// conservative engine's lookahead promise is met by construction, not by
+// clamping.
+//
+// Determinism contract: for a fixed (config, seed, partition count) the
+// outputs — TrafficResult, per-partition metrics, traces — are
+// bit-identical for any ScenarioWorkers value, because workers only pick
+// which CPU runs which partition (see sim.PartitionedDriver). The
+// single-scheduler reference path (ReferencePartitioning) stays in-tree
+// as ground truth; the equivalence suite holds PDES output equal to it.
+
+// probeSize is the on-wire size of one ICMP probe, roughly the 100-byte
+// pings the paper's RIPE Atlas campaign used.
+const probeSize = 100
+
+// maxTrafficPartitions bounds the partition count so partition indices
+// fit the 10.p.0.0/16 addressing scheme.
+const maxTrafficPartitions = 255
+
+// TrafficConfig parameterizes the packet-level fleet scenario.
+type TrafficConfig struct {
+	// Fleet configures the underlying terminal population and epoch
+	// reassignment campaign. Fleet.Horizon is the packet horizon too.
+	Fleet Config
+	// Interval is the per-terminal probe period (default 1s). Each
+	// terminal's phase within the interval derives from its seed.
+	Interval time.Duration
+	// Partitions is the spatial partition count (default 16, max 255).
+	// Results depend on it only through rounding-free accumulators: the
+	// per-region outcome is partition-count invariant, and for a fixed
+	// count the full output is byte-identical across worker counts.
+	Partitions int
+	// ScenarioWorkers is the number of goroutines driving PDES windows
+	// (default 1). Never affects results, only wall-clock time.
+	ScenarioWorkers int
+	// ReferencePartitioning runs the whole scenario on one plain
+	// scheduler with no PDES driver — the ground-truth path the
+	// equivalence suite compares against. Forces Partitions to 1, and is
+	// byte-identical to the PDES path at one partition.
+	ReferencePartitioning bool
+	// Collector, when non-nil, receives one observability sink per
+	// partition (registered as "fleettraffic/0000"...) plus the fleet
+	// campaign's sink at index Partitions. Source naming goes through
+	// obs.ShardSource, so exports are worker-invariant.
+	Collector *obs.Collector
+}
+
+func (c TrafficConfig) withDefaults() TrafficConfig {
+	if c.Interval <= 0 {
+		c.Interval = time.Second
+	}
+	if c.Partitions <= 0 {
+		c.Partitions = 16
+	}
+	if c.Partitions > maxTrafficPartitions {
+		c.Partitions = maxTrafficPartitions
+	}
+	if c.ScenarioWorkers <= 0 {
+		c.ScenarioWorkers = 1
+	}
+	if c.ReferencePartitioning {
+		c.Partitions = 1
+	}
+	return c
+}
+
+// TrafficLookahead returns the cross-partition lookahead for a
+// constellation: the propagation delay of twice the lowest shell
+// altitude, shaved by 0.1%. Any bent-pipe path travels up to a satellite
+// (slant range >= altitude) and down to a gateway (same bound), so every
+// one-way delay D satisfies D >= RadioDelay(2*alt) > L strictly — the
+// shave only has to dominate floating-point rounding, never physics.
+func TrafficLookahead(shells []leo.ShellConfig) time.Duration {
+	minAlt := math.Inf(1)
+	for _, sc := range shells {
+		if sc.AltKm < minAlt {
+			minAlt = sc.AltKm
+		}
+	}
+	return geo.RadioDelay(2 * minAlt * 0.999)
+}
+
+// trafficAccum aggregates one region's probe outcome within one
+// partition. Plain fields: each partition's accumulators are written only
+// by its own goroutine during windows; merging across partitions is
+// commutative (sums and FixedDist.Merge), which is what makes the
+// per-region result partition-count invariant.
+type trafficAccum struct {
+	sent    int64
+	recv    int64
+	skipped int64
+	rtt     stats.FixedDist // ms, same geometry as the fleet latency dist
+}
+
+// probeRef is one terminal's probe state: the stable argument for the
+// allocation-free AtFunc re-arm chain. At most one probe is outstanding
+// per terminal (interval >> RTT), so a seq match against the last send
+// fully identifies the reply.
+type probeRef struct {
+	part *trafficPart
+	term int32 // global index into the fleet SoA
+	node *netem.Node
+	seq  int
+	sent sim.Time
+	wait bool
+}
+
+// trafficPart is one partition's share of the scenario: a network on the
+// partition's scheduler, its boundary routers, its terminal range, and
+// its private accumulators.
+type trafficPart struct {
+	tr      *Traffic
+	idx     int
+	sched   *sim.Scheduler
+	net     *netem.Network
+	egress  *netem.Node
+	ingress *netem.Node
+	lo, hi  int // terminal range [lo, hi)
+	probes  []probeRef
+	acc     []trafficAccum
+
+	sink     *obs.Sink
+	cSent    *obs.Counter
+	cRecv    *obs.Counter
+	cSkipped *obs.Counter
+	hRTT     *obs.Histogram
+}
+
+// Traffic is an instantiated packet-level fleet scenario.
+type Traffic struct {
+	cfg       TrafficConfig
+	fleet     *Fleet
+	pm        *PartitionMap
+	lookahead time.Duration
+	horizon   sim.Time
+
+	driver *sim.PartitionedDriver // nil on the reference path
+	sched  *sim.Scheduler         // the reference path's single scheduler
+	parts  []*trafficPart
+}
+
+func terminalAddr(part, i int) netem.Addr {
+	return netem.Addr(10<<24 | part<<16 | i)
+}
+
+func egressAddr(part int) netem.Addr {
+	return netem.Addr(172<<24 | 16<<16 | part<<8 | 1)
+}
+
+func ingressAddr(part int) netem.Addr {
+	return netem.Addr(172<<24 | 16<<16 | part<<8 | 2)
+}
+
+func gatewayAddr(g int) netem.Addr {
+	return netem.Addr(192<<24 | 168<<16 | g)
+}
+
+// NewTraffic builds the scenario: fleet placement, partition map, one
+// network per partition, the mesh of boundary links (cross edges where
+// they span partitions), and every terminal's probe chain.
+func NewTraffic(cfg TrafficConfig) *Traffic {
+	cfg = cfg.withDefaults()
+	var fleetSink *obs.Sink
+	if cfg.Collector != nil {
+		fleetSink = obs.NewSink(0)
+		cfg.Fleet.Obs = fleetSink
+	}
+	f := New(cfg.Fleet)
+	tr := &Traffic{
+		cfg:       cfg,
+		fleet:     f,
+		lookahead: TrafficLookahead(f.cfg.Shells),
+		horizon:   sim.Time(int64(f.cfg.Horizon)),
+	}
+	tr.pm = f.PartitionTerminals(cfg.Partitions)
+	nParts := tr.pm.Parts
+
+	// Every scheduler is seeded identically in PDES and reference mode,
+	// which is one of the two ingredients (with identical build order) of
+	// the byte-identity between the reference path and PDES at one
+	// partition.
+	scheds := make([]*sim.Scheduler, nParts)
+	if cfg.ReferencePartitioning {
+		tr.sched = sim.NewScheduler(sim.DeriveSeed(f.cfg.Seed, "pdes/partition", 0))
+		scheds[0] = tr.sched
+	} else {
+		tr.driver = sim.NewPartitionedDriver(f.cfg.Seed, nParts)
+		for p := range scheds {
+			scheds[p] = tr.driver.Scheduler(p)
+		}
+	}
+	tr.build(scheds)
+
+	if cfg.Collector != nil {
+		for p, part := range tr.parts {
+			cfg.Collector.Add(obs.ShardSource("fleettraffic", p), part.sink)
+		}
+		cfg.Collector.Add(obs.ShardSource("fleettraffic", nParts), fleetSink)
+	}
+	return tr
+}
+
+// build wires the whole topology in a fixed order — partitions ascending,
+// and within the mesh pass source-major — so cross-edge creation order
+// (and with it every partition's inbox drain order) is a pure function of
+// the configuration.
+func (tr *Traffic) build(scheds []*sim.Scheduler) {
+	f := tr.fleet
+	nParts := len(scheds)
+	look := tr.lookahead
+
+	// Pass 1: networks, routers, gateway and terminal nodes.
+	for p := 0; p < nParts; p++ {
+		lo, hi := int(tr.pm.TermStart[p]), int(tr.pm.TermStart[p+1])
+		if hi-lo >= 1<<16 {
+			panic(fmt.Sprintf("fleet: partition %d holds %d terminals, exceeding the 10.p.0.0/16 address space", p, hi-lo))
+		}
+		pt := &trafficPart{tr: tr, idx: p, sched: scheds[p], lo: lo, hi: hi}
+		pt.net = netem.New(pt.sched)
+		if tr.cfg.Collector != nil {
+			pt.sink = obs.NewSink(0)
+			pt.net.Observe(pt.sink)
+			reg := pt.sink.Registry()
+			pt.cSent = reg.Counter("traffic.probes_sent")
+			pt.cRecv = reg.Counter("traffic.probes_recv")
+			pt.cSkipped = reg.Counter("traffic.probes_skipped")
+			pt.hRTT = reg.Histogram("traffic.rtt_ns", obs.DurationBounds())
+		}
+		pt.egress = pt.net.NewNode(fmt.Sprintf("egress%d", p), egressAddr(p))
+		pt.ingress = pt.net.NewNode(fmt.Sprintf("ingress%d", p), ingressAddr(p))
+		pt.acc = make([]trafficAccum, len(f.regions))
+		for ri := range pt.acc {
+			pt.acc[ri].rtt = stats.NewFixedDist(0.5, 600)
+		}
+		pt.probes = make([]probeRef, hi-lo)
+		tr.parts = append(tr.parts, pt)
+	}
+
+	// Pass 2: the boundary mesh. Source-major order fixes each
+	// destination's cross-edge list (ascending source), and with it the
+	// deterministic inbox drain order inside sim.PartitionedDriver.
+	mesh := make([][]*netem.Link, nParts)
+	meshCfg := netem.LinkConfig{Delay: netem.ConstantDelay(look)}
+	for p := 0; p < nParts; p++ {
+		mesh[p] = make([]*netem.Link, nParts)
+		for q := 0; q < nParts; q++ {
+			if p == q {
+				mesh[p][q] = tr.parts[p].net.AddLink(tr.parts[p].egress, tr.parts[p].ingress, meshCfg)
+				continue
+			}
+			edge, err := tr.driver.Connect(p, q, look)
+			if err != nil {
+				panic(err)
+			}
+			mesh[p][q] = tr.parts[p].net.AddCrossLink(tr.parts[p].egress, tr.parts[q].ingress, edge, meshCfg)
+		}
+	}
+
+	// Pass 3: gateways and routes. Each gateway is homed in the partition
+	// holding the most terminals it initially serves, so most probes stay
+	// intra-partition — cross-edge traffic (and with it the conservative
+	// engine's per-window overhead) scales with the partition map's real
+	// cut, not with the gateway count. The tally is a pure function of the
+	// fleet's initial assignment, hence identical in PDES and reference
+	// mode; gateways nobody serves yet fall back to g mod P. Every egress
+	// router can still reach every gateway through the mesh, and routes
+	// replies by terminal /16 prefix, so homing never affects delivery or
+	// delay — only which edges carry the packets.
+	home := make([]int, len(f.cfg.Gateways))
+	tally := make([]int32, len(f.cfg.Gateways)*nParts)
+	for p := 0; p < nParts; p++ {
+		for t := tr.parts[p].lo; t < tr.parts[p].hi; t++ {
+			if g := f.gw[t]; g >= 0 {
+				tally[int(g)*nParts+p]++
+			}
+		}
+	}
+	for g := range home {
+		home[g] = g % nParts
+		best := int32(0)
+		for p := 0; p < nParts; p++ {
+			if n := tally[g*nParts+p]; n > best {
+				best, home[g] = n, p
+			}
+		}
+	}
+	for g := range f.cfg.Gateways {
+		p := home[g]
+		pt := tr.parts[p]
+		gw := pt.net.NewNode(fmt.Sprintf("gw%d", g), gatewayAddr(g))
+		gw.EchoResponder = true
+		toGw := pt.net.AddLink(pt.ingress, gw, netem.LinkConfig{})
+		fromGw := pt.net.AddLink(gw, pt.egress, netem.LinkConfig{})
+		gw.SetDefaultRoute(fromGw)
+		pt.ingress.AddRoute(gw.Addr(), toGw)
+	}
+	for p := 0; p < nParts; p++ {
+		pt := tr.parts[p]
+		for g := range f.cfg.Gateways {
+			pt.egress.AddRoute(gatewayAddr(g), mesh[p][home[g]])
+		}
+		for q := 0; q < nParts; q++ {
+			pt.egress.AddPrefixRoute(terminalAddr(q, 0), 16, mesh[p][q])
+		}
+	}
+
+	// Pass 4: terminals — access links carrying D(t)-L, reply handlers,
+	// and the first probe of each re-arm chain.
+	interval := int64(tr.cfg.Interval)
+	for p := 0; p < nParts; p++ {
+		pt := tr.parts[p]
+		for t := pt.lo; t < pt.hi; t++ {
+			t := t
+			node := pt.net.NewNode(fmt.Sprintf("term%d", t), terminalAddr(p, t-pt.lo))
+			access := netem.LinkConfig{
+				Delay: func(sim.Time) time.Duration { return time.Duration(f.delayNs[t]) - look },
+				Down:  func(sim.Time) bool { return f.delayNs[t] < 0 },
+			}
+			up := pt.net.AddLink(node, pt.egress, access)
+			down := pt.net.AddLink(pt.ingress, node, access)
+			node.SetDefaultRoute(up)
+			pt.ingress.AddRoute(node.Addr(), down)
+
+			ref := &pt.probes[t-pt.lo]
+			ref.part, ref.term, ref.node = pt, int32(t), node
+			node.Bind(netem.ProtoICMP, 0, func(pkt *netem.Packet) {
+				ic, ok := pkt.Payload.(*netem.ICMP)
+				if !ok || ic.Type != netem.ICMPEchoReply || !ref.wait || ic.Seq != ref.seq {
+					return
+				}
+				ref.wait = false
+				rtt := pt.sched.Now().Sub(ref.sent)
+				a := &pt.acc[f.region[t]]
+				a.recv++
+				a.rtt.Observe(float64(rtt) / 1e6)
+				pt.cRecv.Inc()
+				pt.hRTT.Observe(int64(rtt))
+			})
+			// Phase within the interval derives from the terminal's own
+			// seed: probe instants are a pure function of placement, so
+			// they are identical in PDES and reference mode.
+			pt.sched.AtFunc(sim.Time(int64(f.seed[t]%uint64(interval))), probeFire, ref)
+		}
+	}
+}
+
+// probeFire sends one ICMP echo probe and re-arms the chain. It is a
+// package-level EventFunc with a stable *probeRef argument, so the whole
+// probe machinery schedules allocation-free after build.
+func probeFire(arg any) {
+	ref := arg.(*probeRef)
+	pt := ref.part
+	tr := pt.tr
+	t := int(ref.term)
+	now := pt.sched.Now()
+	if next := now.Add(tr.cfg.Interval); next < tr.horizon {
+		pt.sched.AtFunc(next, probeFire, ref)
+	}
+	f := tr.fleet
+	if f.delayNs[t] < 0 || f.gw[t] < 0 {
+		// Outage epoch: the dish has no serving satellite (or no
+		// reachable gateway), so the probe is never transmitted.
+		pt.acc[f.region[t]].skipped++
+		pt.cSkipped.Inc()
+		return
+	}
+	ref.seq++
+	ref.sent = now
+	ref.wait = true
+	pkt := pt.net.NewPacket()
+	pkt.Dst = gatewayAddr(int(f.gw[t]))
+	pkt.Proto = netem.ProtoICMP
+	pkt.Size = probeSize
+	ic := pt.net.NewICMP()
+	ic.Type = netem.ICMPEchoRequest
+	ic.Seq = ref.seq
+	pkt.Payload = ic
+	ref.node.Send(pkt)
+	pt.acc[f.region[t]].sent++
+	pt.cSent.Inc()
+}
+
+// epoch runs one fleet reassignment plus the beam/accounting pass. In
+// PDES mode it executes as a barrier global — single-threaded, with every
+// partition's clock exactly at the epoch instant — so the shared fleet
+// arrays are never written while a window runs.
+func (tr *Traffic) epoch(e int, at sim.Time) {
+	if tr.fleet.cfg.Reference {
+		tr.fleet.ReferenceReassignAt(at)
+	} else {
+		tr.fleet.ReassignAt(at)
+	}
+	tr.fleet.observeEpoch(e, at)
+}
+
+// Run executes the scenario to the horizon and returns the merged result.
+func (tr *Traffic) Run() *TrafficResult {
+	f := tr.fleet
+	epochs := int(f.cfg.Horizon / f.cfg.Epoch)
+	if epochs < 1 {
+		epochs = 1
+	}
+	if tr.driver != nil {
+		for e := 0; e < epochs; e++ {
+			e := e
+			at := sim.Time(int64(e) * int64(f.cfg.Epoch))
+			tr.driver.GlobalAt(at, func(at sim.Time) { tr.epoch(e, at) })
+		}
+		tr.driver.Run(tr.horizon, tr.cfg.ScenarioWorkers)
+	} else {
+		// The reference loop advances with RunBefore — the same half-open
+		// window the PDES driver uses — so an event at exactly an epoch
+		// boundary observes the reassigned fleet in both modes.
+		for e := 0; e < epochs; e++ {
+			at := sim.Time(int64(e) * int64(f.cfg.Epoch))
+			tr.sched.RunBefore(at)
+			tr.epoch(e, at)
+		}
+		tr.sched.RunBefore(tr.horizon)
+	}
+	return tr.result(f.result(epochs))
+}
+
+// RunTraffic builds and runs a packet-level fleet scenario in one call.
+func RunTraffic(cfg TrafficConfig) *TrafficResult {
+	return NewTraffic(cfg).Run()
+}
+
+// TrafficResult is the merged outcome of a packet-level fleet scenario.
+// All fields except Windows and Events are invariant to both the
+// partition count and the worker count; Windows/Events additionally
+// depend on the partition count (more partitions, more cross traffic) but
+// never on workers.
+type TrafficResult struct {
+	Terminals  int
+	Partitions int
+	// Windows counts PDES barrier windows (0 on the reference path);
+	// Events counts executed simulation events.
+	Windows uint64
+	Events  uint64
+
+	ProbesSent    int64
+	ProbesRecv    int64
+	ProbesSkipped int64
+
+	// Fleet is the embedded epoch campaign's per-region result.
+	Fleet *Result
+	// Regions is the per-region probe outcome, sorted by region name.
+	Regions []TrafficRegionResult
+}
+
+// TrafficRegionResult summarizes one region's probes.
+type TrafficRegionResult struct {
+	Region  string
+	Sent    int64
+	Recv    int64
+	Skipped int64
+	// LossPct is the share of sent probes without a reply by the
+	// horizon. The emulated links are lossless, so this counts probes
+	// still in flight when the campaign ends.
+	LossPct float64
+	// Packet-level RTT quantiles in milliseconds; these come from the
+	// emulated datapath, not from geometry queries, and land within one
+	// histogram bucket of the fleet campaign's analytic latency.
+	RTTP50Ms float64
+	RTTP95Ms float64
+}
+
+// result merges the per-partition accumulators in partition order.
+func (tr *Traffic) result(fl *Result) *TrafficResult {
+	res := &TrafficResult{
+		Terminals:  len(tr.fleet.sat),
+		Partitions: len(tr.parts),
+		Fleet:      fl,
+	}
+	if tr.driver != nil {
+		res.Windows = tr.driver.Windows
+		res.Events = tr.driver.Events()
+	} else {
+		res.Events = tr.sched.Processed
+	}
+	merged := make([]trafficAccum, len(tr.fleet.regions))
+	for ri := range merged {
+		merged[ri].rtt = stats.NewFixedDist(0.5, 600)
+	}
+	for _, pt := range tr.parts {
+		for ri := range pt.acc {
+			merged[ri].sent += pt.acc[ri].sent
+			merged[ri].recv += pt.acc[ri].recv
+			merged[ri].skipped += pt.acc[ri].skipped
+			merged[ri].rtt.Merge(&pt.acc[ri].rtt)
+		}
+	}
+	for ri, name := range tr.fleet.regions {
+		a := &merged[ri]
+		rr := TrafficRegionResult{
+			Region:   name,
+			Sent:     a.sent,
+			Recv:     a.recv,
+			Skipped:  a.skipped,
+			RTTP50Ms: a.rtt.Quantile(0.50),
+			RTTP95Ms: a.rtt.Quantile(0.95),
+		}
+		if a.sent > 0 {
+			rr.LossPct = 100 * float64(a.sent-a.recv) / float64(a.sent)
+		}
+		res.ProbesSent += a.sent
+		res.ProbesRecv += a.recv
+		res.ProbesSkipped += a.skipped
+		res.Regions = append(res.Regions, rr)
+	}
+	sort.Slice(res.Regions, func(i, j int) bool {
+		return res.Regions[i].Region < res.Regions[j].Region
+	})
+	return res
+}

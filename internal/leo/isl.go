@@ -26,6 +26,35 @@ type ISLRouter struct {
 	exitUp  []float64 // -1 marks "not an exit"
 	entries []islEntry
 	q       pq
+
+	// memo is the per-router route cache: PathDelay is ~330 µs of
+	// visibility scan + Dijkstra, and epoch-aligned callers ask for the
+	// same (instant, endpoints, mask) route many times per snapshot. The
+	// ring mirrors the position-snapshot ring's shape (8 entries, FIFO
+	// replacement); entries are keyed on the full argument tuple plus the
+	// shell's membership generation, so a cached route can never outlive
+	// either the snapshot instant that produced it or a fleet-growth
+	// membership change.
+	memo     [islMemoSize]islMemoEntry
+	memoNext int
+}
+
+// islMemoSize matches the constellation's snapshot ring: one route per
+// live instant is the reuse pattern, and a stale entry dies by FIFO
+// replacement within one ring turn.
+const islMemoSize = 8
+
+// islMemoEntry caches one PathDelay result under its complete key.
+type islMemoEntry struct {
+	valid    bool
+	at       sim.Time
+	src, dst geo.LatLon
+	mask     float64
+	gen      uint64
+
+	d       time.Duration
+	islHops int
+	ok      bool
 }
 
 // islEntry is an uplink candidate: a satellite visible from the source.
@@ -96,7 +125,35 @@ func (p *pq) pop() pqItem {
 // positions at instant at, going up to the best visible satellite at each
 // end and across the +Grid ISL mesh, plus the number of ISL hops used.
 // ok=false when either endpoint has no visible satellite.
+//
+// Results are memoized per (instant, endpoints, mask, shell membership)
+// in an 8-entry ring: positions are a pure function of (shell geometry,
+// at), so the tuple fully determines the route, and repeated queries
+// within a position-snapshot epoch cost a ring probe instead of a fresh
+// Dijkstra. ReferencePathDelay bypasses the memo; the equivalence test in
+// isl_memo_test.go holds the two bit-identical.
 func (r *ISLRouter) PathDelay(at sim.Time, src, dst geo.LatLon, minElevationDeg float64) (d time.Duration, islHops int, ok bool) {
+	gen := r.shell.Gen()
+	for i := range r.memo {
+		e := &r.memo[i]
+		if e.valid && e.at == at && e.src == src && e.dst == dst &&
+			e.mask == minElevationDeg && e.gen == gen {
+			return e.d, e.islHops, e.ok
+		}
+	}
+	d, islHops, ok = r.ReferencePathDelay(at, src, dst, minElevationDeg)
+	r.memo[r.memoNext] = islMemoEntry{
+		valid: true, at: at, src: src, dst: dst, mask: minElevationDeg,
+		gen: gen, d: d, islHops: islHops, ok: ok,
+	}
+	r.memoNext = (r.memoNext + 1) % islMemoSize
+	return d, islHops, ok
+}
+
+// ReferencePathDelay is the unmemoized route computation: the full
+// visibility scan plus Dijkstra, kept as the correctness reference for
+// the memo ring.
+func (r *ISLRouter) ReferencePathDelay(at sim.Time, src, dst geo.LatLon, minElevationDeg float64) (d time.Duration, islHops int, ok bool) {
 	cfg := r.shell.Config()
 	planes, per := cfg.Planes, cfg.SatsPerPlane
 

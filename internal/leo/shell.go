@@ -63,6 +63,10 @@ type Shell struct {
 	// additional satellites mid-campaign.
 	enabled [][]bool
 	nAlive  int
+	// gen counts membership changes; caches keyed on satellite positions
+	// plus membership (the ISL route memo) include it so mid-campaign
+	// fleet growth invalidates them.
+	gen uint64
 }
 
 // NewShell instantiates a shell with all satellites enabled.
@@ -118,6 +122,7 @@ func (s *Shell) Alive() int { return s.nAlive }
 func (s *Shell) SetEnabled(plane, idx int, on bool) {
 	if s.enabled[plane][idx] != on {
 		s.enabled[plane][idx] = on
+		s.gen++
 		if on {
 			s.nAlive++
 		} else {
@@ -125,6 +130,10 @@ func (s *Shell) SetEnabled(plane, idx int, on bool) {
 		}
 	}
 }
+
+// Gen returns the membership generation: it changes whenever a
+// satellite's existence is toggled, never otherwise.
+func (s *Shell) Gen() uint64 { return s.gen }
 
 // Enabled reports whether a satellite exists.
 func (s *Shell) Enabled(plane, idx int) bool { return s.enabled[plane][idx] }

@@ -96,6 +96,11 @@ type Link struct {
 	obs     *netObs
 	obsSubj obs.Subj
 
+	// cross, when non-nil, marks this as a cross-partition link: instead
+	// of scheduling delivery locally, txDone stages a copied record on the
+	// PDES cross edge (crosslink.go).
+	cross *crossEndpoint
+
 	// DropHook, when set, observes every packet the link drops.
 	DropHook func(now sim.Time, pkt *Packet, reason DropReason)
 	// DeliverHook, when set, observes every packet as it arrives at the
@@ -217,6 +222,13 @@ func (ev *linkEvent) txDone() {
 		arrival = l.lastArrival
 	}
 	l.lastArrival = arrival
+	if l.cross != nil {
+		// Cross-partition link: the propagation hop happens on the
+		// destination partition's clock via the cross edge (crosslink.go).
+		l.net.putLinkEvent(ev)
+		l.stageCross(arrival, pkt)
+		return
+	}
 	s.AtFunc(arrival, linkDeliver, ev)
 }
 

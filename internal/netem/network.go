@@ -41,6 +41,10 @@ type Network struct {
 	pktFree   []*Packet
 	icmpFree  []*ICMP
 	poolStats PoolStats
+
+	// crossLinks lists the links of this network that terminate in
+	// another partition's network (see crosslink.go).
+	crossLinks []*Link
 }
 
 // Observe attaches an observability sink to the network: every existing

@@ -2,6 +2,7 @@ package obs
 
 import (
 	"bytes"
+	"fmt"
 	"sort"
 	"sync"
 )
@@ -73,6 +74,15 @@ type source struct {
 
 // NewCollector returns an empty collector.
 func NewCollector() *Collector { return &Collector{} }
+
+// ShardSource formats the canonical source name for shard i of a family:
+// zero-padded to four digits so lexicographic order equals shard order,
+// the property that makes every export worker-invariant. All shard
+// registrations — campaign repetitions and PDES scenario partitions alike
+// — go through this one formatter.
+func ShardSource(family string, i int) string {
+	return fmt.Sprintf("%s/%04d", family, i)
+}
 
 // Add registers one shard's sink under a unique source name. Safe for
 // concurrent use; safe on a nil collector (sink is simply discarded).

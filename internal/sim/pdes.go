@@ -1,0 +1,424 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Conservative parallel discrete-event execution (PDES).
+//
+// A PartitionedDriver runs several independent Schedulers — one per
+// partition of the simulation graph — in lock-step barrier windows.
+// Partitions interact only through CrossEdges, each declaring a lookahead:
+// a hard lower bound on the sim-time distance between an event executing
+// in the source partition and any cross-partition message it emits. The
+// driver exploits that bound the classic conservative way: if the
+// earliest unexecuted event anywhere sits at time T and every cross edge
+// guarantees lookahead >= W, then no event in [T, T+W) can be affected by
+// a message generated in that same window — every such message is stamped
+// >= T+W. So each window [T, hi) with hi <= T+W executes in parallel,
+// one goroutine per partition, with no synchronization at all; at the
+// barrier the staged messages flip into the destination partitions'
+// inboxes and the next window begins.
+//
+// All horizon math is exact in sim-time ticks (Time is integer
+// nanoseconds); there are no float or wall-clock heuristics anywhere in
+// the window computation. Determinism is structural, not scheduled-by-
+// luck: each partition's event order is a pure function of its inputs
+// (its own schedule plus inbox drains in fixed edge order), and worker
+// goroutines only decide which CPU runs which partition, never what any
+// partition observes. Output is therefore bit-identical for any worker
+// count, which the equivalence suites in internal/fleet and internal/core
+// enforce.
+type PartitionedDriver struct {
+	parts   []*partition
+	edges   []*CrossEdge
+	minLook Duration // min lookahead over all edges; MaxTime duration when no edges
+	now     Time
+
+	// flipped lists the edges whose inboxes went non-empty at the last
+	// barrier — the only inboxes earliestWork must scan. Barrier cost
+	// scales with traffic, not with edge count: a fully connected
+	// 16-partition mesh has 240 edges, and touching each of them every
+	// few-millisecond window would dwarf the event work itself.
+	flipped []*CrossEdge
+
+	globals   []globalEvent
+	globalSeq uint64
+
+	hooks []func()
+
+	// Windows counts executed barrier windows; Barriers the staged-message
+	// flips. Both are deterministic for a given scenario.
+	Windows  uint64
+	Barriers uint64
+}
+
+// partition pairs a scheduler with its incoming edges (in Connect order,
+// which fixes the inbox drain order and therefore the event sequence).
+// The dirty-tracking slices make per-window bookkeeping proportional to
+// the edges actually carrying traffic; each is written by exactly one
+// side (source goroutine, destination goroutine, or the single-threaded
+// barrier), so none needs a lock.
+type partition struct {
+	sched *Scheduler
+	in    []*CrossEdge
+
+	// inboxed counts in-edges flipped non-empty at the last barrier; when
+	// zero, run skips the drain loop entirely. Written at the barrier,
+	// cleared by the partition's own goroutine.
+	inboxed int
+	// outDirty lists out-edges staged onto during the current window.
+	// Appended by the partition's goroutine (the only writer of its out
+	// edges), consumed at the barrier.
+	outDirty []*CrossEdge
+	// pendingIn lists in-edges with drained-but-not-yet-executed
+	// messages, kept until their retirement hooks can run. Appended
+	// during the drain, compacted at the barrier.
+	pendingIn []*CrossEdge
+}
+
+// globalEvent is a barrier-synchronized event: it runs single-threaded
+// between windows, when every partition's clock sits exactly at its
+// timestamp. Scenario-wide phase changes (the fleet's epoch reassignment)
+// run here, so partitions always observe them with a happens-before edge
+// on both sides.
+type globalEvent struct {
+	at  Time
+	seq uint64
+	fn  func(at Time)
+}
+
+// CrossMsg is one timestamped cross-partition message: an EventFunc plus
+// its argument, to be scheduled on the destination partition at At.
+type CrossMsg struct {
+	At  Time
+	Fn  EventFunc
+	Arg any
+}
+
+// CrossEdge is a deterministic one-way message queue between two
+// partitions. During a window the source partition appends to staged (it
+// is the only writer); at the barrier the driver flips staged into inbox;
+// at the start of the next window the destination partition drains inbox
+// into its scheduler (it is the only reader). The two phases never
+// overlap, so the edge needs no locks.
+type CrossEdge struct {
+	src, dst  int
+	lookahead Duration
+	srcSched  *Scheduler
+	srcPart   *partition
+	staged    []CrossMsg
+	inbox     []CrossMsg
+
+	// dirty is set by the first Send of a window (source goroutine only)
+	// and cleared at the barrier; it keeps the edge on its source
+	// partition's outDirty list exactly once.
+	dirty bool
+	// pending/pendingUntil track drained messages that have not executed
+	// yet: pendingUntil is the latest stamp drained into the destination
+	// scheduler. Once the window clock passes it, every message has run
+	// (and retired its record), so OnBarrier can fire. Written by the
+	// destination goroutine, read at the barrier.
+	pending      bool
+	pendingUntil Time
+
+	// OnBarrier, when non-nil, runs single-threaded at the first barrier
+	// by which every message drained from this edge has executed. Cross-
+	// link record pools (internal/netem) recycle through it: records
+	// retired by the destination flow back to the source's freelist only
+	// when neither side is running.
+	OnBarrier func()
+}
+
+// NewPartitionedDriver returns a driver over n partition schedulers, all
+// derived from the same base seed (partition i uses DeriveSeed(seed,
+// "pdes/partition", i)), with clocks at zero and no cross edges yet.
+func NewPartitionedDriver(seed uint64, n int) *PartitionedDriver {
+	if n < 1 {
+		panic("sim: partitioned driver needs at least one partition")
+	}
+	d := &PartitionedDriver{minLook: Duration(MaxTime)}
+	for i := 0; i < n; i++ {
+		d.parts = append(d.parts, &partition{sched: NewScheduler(DeriveSeed(seed, "pdes/partition", i))})
+	}
+	return d
+}
+
+// Partitions returns the number of partitions.
+func (d *PartitionedDriver) Partitions() int { return len(d.parts) }
+
+// Scheduler returns partition p's scheduler. All nodes, links and timers
+// of partition p must live on it exclusively.
+func (d *PartitionedDriver) Scheduler(p int) *Scheduler { return d.parts[p].sched }
+
+// Now returns the driver's window clock: every partition's scheduler sits
+// exactly here between windows.
+func (d *PartitionedDriver) Now() Time { return d.now }
+
+// Events returns the total number of events executed across all
+// partitions — deterministic for a given scenario.
+func (d *PartitionedDriver) Events() uint64 {
+	var n uint64
+	for _, p := range d.parts {
+		n += p.sched.Processed
+	}
+	return n
+}
+
+// Connect creates a cross edge from partition src to partition dst with
+// the given lookahead. A conservative engine is only sound when every
+// cross edge has strictly positive lookahead — a zero-lookahead edge
+// would let a window-T event affect the very window computing it — so a
+// lookahead <= 0 (or a degenerate src/dst) fails fast with an error
+// rather than producing silently wrong schedules.
+func (d *PartitionedDriver) Connect(src, dst int, lookahead Duration) (*CrossEdge, error) {
+	if src < 0 || src >= len(d.parts) || dst < 0 || dst >= len(d.parts) {
+		return nil, fmt.Errorf("sim: cross edge %d->%d outside partitions [0,%d)", src, dst, len(d.parts))
+	}
+	if src == dst {
+		return nil, fmt.Errorf("sim: cross edge %d->%d connects a partition to itself; use a plain link", src, dst)
+	}
+	if lookahead <= 0 {
+		return nil, fmt.Errorf("sim: cross edge %d->%d has zero lookahead (%v); conservative synchronization requires a positive propagation-delay lower bound", src, dst, lookahead)
+	}
+	e := &CrossEdge{src: src, dst: dst, lookahead: lookahead, srcSched: d.parts[src].sched, srcPart: d.parts[src]}
+	d.edges = append(d.edges, e)
+	d.parts[dst].in = append(d.parts[dst].in, e)
+	if lookahead < d.minLook {
+		d.minLook = lookahead
+	}
+	return e, nil
+}
+
+// Send stages fn(arg) for execution on the destination partition at
+// absolute time at. Only the source partition may call it, and only while
+// its window is executing. The stamp must respect the edge's declared
+// lookahead; violating it means the lookahead promise made to Connect was
+// false, which would break the safe-horizon computation for every
+// partition, so it panics immediately with the offending times.
+func (e *CrossEdge) Send(at Time, fn EventFunc, arg any) {
+	if now := e.srcSched.Now(); at < now.Add(e.lookahead) {
+		panic(fmt.Sprintf("sim: cross edge %d->%d message at %v violates lookahead %v from now %v",
+			e.src, e.dst, at, e.lookahead, now))
+	}
+	if fn == nil {
+		panic("sim: nil cross-edge event")
+	}
+	if !e.dirty {
+		e.dirty = true
+		e.srcPart.outDirty = append(e.srcPart.outDirty, e)
+	}
+	e.staged = append(e.staged, CrossMsg{At: at, Fn: fn, Arg: arg})
+}
+
+// GlobalAt schedules fn to run single-threaded at the barrier for time
+// at: after every partition has executed all events before at, and before
+// any partition executes an event at or after it. Globals may schedule
+// further globals at the same or later times. Scheduling in the past
+// panics, exactly like Scheduler.At.
+func (d *PartitionedDriver) GlobalAt(at Time, fn func(at Time)) {
+	if at < d.now {
+		panic(fmt.Sprintf("sim: scheduling global event at %v before now %v", at, d.now))
+	}
+	if fn == nil {
+		panic("sim: nil global event")
+	}
+	d.globals = append(d.globals, globalEvent{at: at, seq: d.globalSeq, fn: fn})
+	d.globalSeq++
+	sort.Slice(d.globals, func(i, j int) bool {
+		if d.globals[i].at != d.globals[j].at {
+			return d.globals[i].at < d.globals[j].at
+		}
+		return d.globals[i].seq < d.globals[j].seq
+	})
+}
+
+// OnBarrier registers fn to run single-threaded at every barrier, after
+// staged messages flip and after per-edge hooks. Partition-spanning
+// bookkeeping (pool recycling, progress accounting) belongs here.
+func (d *PartitionedDriver) OnBarrier(fn func()) { d.hooks = append(d.hooks, fn) }
+
+// runGlobals pops and runs every global stamped exactly at now,
+// including ones scheduled by globals as they run.
+func (d *PartitionedDriver) runGlobals() {
+	for len(d.globals) > 0 && d.globals[0].at == d.now {
+		g := d.globals[0]
+		d.globals = d.globals[1:]
+		g.fn(d.now)
+	}
+}
+
+// earliestWork returns the smallest timestamp of any unexecuted work:
+// partition events, undelivered inbox messages, or globals. ok=false
+// when the simulation is fully drained.
+func (d *PartitionedDriver) earliestWork() (Time, bool) {
+	earliest, ok := MaxTime, false
+	if len(d.globals) > 0 {
+		earliest, ok = d.globals[0].at, true
+	}
+	for _, p := range d.parts {
+		if t, has := p.sched.NextEventTime(); has && t < earliest {
+			earliest, ok = t, true
+		}
+	}
+	for _, e := range d.flipped {
+		for i := range e.inbox {
+			if at := e.inbox[i].At; at < earliest {
+				earliest, ok = at, true
+			}
+		}
+	}
+	return earliest, ok
+}
+
+// runPartition executes one partition's share of the window [d.now, hi):
+// drain the inboxes in edge order, then run strictly before hi. The inbox
+// drain happens first and in a fixed order, so the partition's (at, seq)
+// event sequence is a pure function of its inputs. A message stamped
+// before the partition's clock would be a safe-horizon violation; the
+// scheduler's own scheduling-in-the-past panic is the enforcement.
+func (p *partition) run(hi Time) {
+	if p.inboxed > 0 {
+		p.inboxed = 0
+		for _, e := range p.in {
+			if len(e.inbox) == 0 {
+				continue
+			}
+			for i := range e.inbox {
+				m := &e.inbox[i]
+				if m.At > e.pendingUntil {
+					e.pendingUntil = m.At
+				}
+				p.sched.AtFunc(m.At, m.Fn, m.Arg)
+				*m = CrossMsg{}
+			}
+			e.inbox = e.inbox[:0]
+			if !e.pending {
+				e.pending = true
+				p.pendingIn = append(p.pendingIn, e)
+			}
+		}
+	}
+	p.sched.RunBefore(hi)
+}
+
+// barrier flips the staged messages of every dirty edge into its inbox
+// and runs the hooks. Single-threaded: all window workers have joined.
+// Only edges that actually carried traffic are touched — flips via the
+// per-partition dirty lists, retirement hooks via the pending lists —
+// so an idle mesh edge costs nothing per window.
+func (d *PartitionedDriver) barrier() {
+	d.Barriers++
+	d.flipped = d.flipped[:0]
+	for _, p := range d.parts {
+		for _, e := range p.outDirty {
+			e.dirty = false
+			e.inbox, e.staged = e.staged, e.inbox
+			d.parts[e.dst].inboxed++
+			d.flipped = append(d.flipped, e)
+		}
+		p.outDirty = p.outDirty[:0]
+	}
+	for _, p := range d.parts {
+		kept := p.pendingIn[:0]
+		for _, e := range p.pendingIn {
+			if e.pendingUntil < d.now {
+				// Every message drained from this edge has executed (the
+				// window clock passed the latest stamp), so the records it
+				// delivered are retired and safe to recycle.
+				e.pending = false
+				if e.OnBarrier != nil {
+					e.OnBarrier()
+				}
+			} else {
+				kept = append(kept, e)
+			}
+		}
+		p.pendingIn = kept
+	}
+	for _, fn := range d.hooks {
+		fn()
+	}
+}
+
+// Run executes the scenario up to (but excluding) horizon on the given
+// number of worker goroutines, then advances every partition's clock to
+// exactly horizon. workers <= 1 runs every window inline on the calling
+// goroutine — same code path, same results; worker count is invisible to
+// the simulation by construction.
+func (d *PartitionedDriver) Run(horizon Time, workers int) {
+	if workers > len(d.parts) {
+		workers = len(d.parts)
+	}
+	for d.now < horizon {
+		d.runGlobals()
+		earliest, ok := d.earliestWork()
+		if !ok || earliest >= horizon {
+			break
+		}
+		if earliest < d.now {
+			// An inbox message older than the window clock escaped the
+			// lookahead validation — never reachable, but cheap to guard.
+			panic(fmt.Sprintf("sim: pending work at %v behind window clock %v", earliest, d.now))
+		}
+		hi := horizon
+		if d.minLook < Duration(MaxTime) {
+			if w := earliest.Add(d.minLook); w < hi {
+				hi = w
+			}
+		}
+		if len(d.globals) > 0 && d.globals[0].at < hi {
+			hi = d.globals[0].at
+		}
+		if hi <= d.now {
+			// Only possible when a global sits exactly at now after
+			// runGlobals drained now — i.e. never; guard anyway.
+			panic(fmt.Sprintf("sim: window [%v, %v) does not advance", d.now, hi))
+		}
+		d.Windows++
+		d.runWindow(hi, workers)
+		d.now = hi
+		d.barrier()
+	}
+	// Drained (or nothing left before horizon): advance every clock to
+	// the horizon so post-run samplers observe a full span.
+	if d.now < horizon {
+		d.now = horizon
+	}
+	for _, p := range d.parts {
+		p.run(horizon)
+	}
+	d.barrier()
+}
+
+// runWindow executes [d.now, hi) across all partitions. Work-stealing
+// over an atomic counter: partition execution order is irrelevant to
+// results (partitions share nothing during a window), so workers just
+// grab the next index.
+func (d *PartitionedDriver) runWindow(hi Time, workers int) {
+	if workers <= 1 || len(d.parts) == 1 {
+		for _, p := range d.parts {
+			p.run(hi)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1) - 1)
+				if i >= len(d.parts) {
+					return
+				}
+				d.parts[i].run(hi)
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -1,0 +1,288 @@
+package sim
+
+import (
+	"reflect"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestPartitionedDriverConnectErrors(t *testing.T) {
+	d := NewPartitionedDriver(1, 2)
+	if _, err := d.Connect(0, 0, time.Millisecond); err == nil || !strings.Contains(err.Error(), "itself") {
+		t.Errorf("self edge: got %v", err)
+	}
+	if _, err := d.Connect(0, 2, time.Millisecond); err == nil {
+		t.Error("out-of-range edge accepted")
+	}
+	if _, err := d.Connect(-1, 1, time.Millisecond); err == nil {
+		t.Error("negative partition accepted")
+	}
+	// Satellite of the conservative contract: zero (or negative) lookahead
+	// must fail fast with a message naming the problem, not silently
+	// produce wrong schedules.
+	if _, err := d.Connect(0, 1, 0); err == nil || !strings.Contains(err.Error(), "lookahead") {
+		t.Errorf("zero lookahead: got %v", err)
+	}
+	if _, err := d.Connect(0, 1, -time.Second); err == nil || !strings.Contains(err.Error(), "lookahead") {
+		t.Errorf("negative lookahead: got %v", err)
+	}
+	if _, err := d.Connect(0, 1, time.Millisecond); err != nil {
+		t.Errorf("valid edge rejected: %v", err)
+	}
+}
+
+func TestPartitionedDriverLookaheadViolationPanics(t *testing.T) {
+	d := NewPartitionedDriver(1, 2)
+	e, err := d.Connect(0, 1, 10*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s0 := d.Scheduler(0)
+	s0.At(0, func() {
+		e.Send(s0.Now().Add(5*time.Millisecond), func(any) {}, nil)
+	})
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("understated lookahead did not panic")
+		}
+		if !strings.Contains(r.(string), "violates lookahead") {
+			t.Fatalf("unexpected panic: %v", r)
+		}
+	}()
+	d.Run(Time(int64(time.Second)), 1)
+}
+
+// TestPartitionedDriverCrossDelivery runs a two-partition ping-pong and
+// checks message arrival times and the window accounting.
+func TestPartitionedDriverCrossDelivery(t *testing.T) {
+	d := NewPartitionedDriver(1, 2)
+	look := 10 * time.Millisecond
+	e01, _ := d.Connect(0, 1, look)
+	e10, _ := d.Connect(1, 0, look)
+
+	type rec struct {
+		part int
+		at   Time
+		tag  string
+	}
+	var log []rec
+	s0, s1 := d.Scheduler(0), d.Scheduler(1)
+	// p1's own event at the same instant a cross message arrives: the
+	// build-time event was scheduled first and must run first.
+	s1.At(Time(int64(11*time.Millisecond)), func() {
+		log = append(log, rec{1, s1.Now(), "own"})
+	})
+	s0.At(Time(int64(time.Millisecond)), func() {
+		e01.Send(s0.Now().Add(look), func(any) {
+			log = append(log, rec{1, s1.Now(), "ping"})
+			e10.Send(s1.Now().Add(look), func(any) {
+				log = append(log, rec{0, s0.Now(), "pong"})
+			}, nil)
+		}, nil)
+	})
+	d.Run(Time(int64(time.Second)), 1)
+
+	want := []rec{
+		{1, Time(int64(11 * time.Millisecond)), "own"},
+		{1, Time(int64(11 * time.Millisecond)), "ping"},
+		{0, Time(int64(21 * time.Millisecond)), "pong"},
+	}
+	if !reflect.DeepEqual(log, want) {
+		t.Fatalf("got %v, want %v", log, want)
+	}
+	if d.Now() != Time(int64(time.Second)) {
+		t.Errorf("driver clock %v, want horizon", d.Now())
+	}
+	if d.Windows == 0 || d.Barriers == 0 {
+		t.Errorf("no windows/barriers recorded: %d/%d", d.Windows, d.Barriers)
+	}
+	if d.Events() != 4 {
+		t.Errorf("events = %d, want 4", d.Events())
+	}
+}
+
+// TestPartitionedDriverGlobals pins the barrier ordering: a global at T
+// runs after every event before T and before any event at or after T.
+func TestPartitionedDriverGlobals(t *testing.T) {
+	d := NewPartitionedDriver(3, 1)
+	s := d.Scheduler(0)
+	var log []string
+	s.At(Time(int64(5*time.Millisecond)), func() { log = append(log, "ev5") })
+	s.At(Time(int64(10*time.Millisecond)), func() { log = append(log, "ev10") })
+	d.GlobalAt(Time(int64(10*time.Millisecond)), func(at Time) {
+		if s.Now() != at {
+			t.Errorf("partition clock %v at global %v", s.Now(), at)
+		}
+		log = append(log, "g10")
+		// Globals may chain further globals.
+		d.GlobalAt(at.Add(5*time.Millisecond), func(Time) { log = append(log, "g15") })
+	})
+	d.Run(Time(int64(20*time.Millisecond)), 1)
+	want := []string{"ev5", "g10", "ev10", "g15"}
+	if !reflect.DeepEqual(log, want) {
+		t.Fatalf("got %v, want %v", log, want)
+	}
+}
+
+// fuzzRng is a tiny splitmix64 for deterministic workload derivation.
+type fuzzRng uint64
+
+func (r *fuzzRng) next() uint64 {
+	*r += 0x9e3779b97f4a7c15
+	z := uint64(*r)
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	return z
+}
+
+type fuzzRec struct {
+	at Time
+	id int
+}
+
+// FuzzPartitionedDriver derives a random partition topology and workload
+// from the fuzz input, runs it both under the PDES driver and on a single
+// oracle scheduler, and asserts the safe-horizon invariant: every event
+// executes at the same sim time in both engines, and no partition ever
+// observes time running backwards. Cross sends always honor the edge
+// lookahead, so any panic is a driver bug.
+func FuzzPartitionedDriver(f *testing.F) {
+	f.Add(uint64(1), uint8(3), []byte{0, 10, 5, 1, 20, 9, 2, 3, 200})
+	f.Add(uint64(42), uint8(8), []byte{7, 1, 0, 6, 250, 255, 5, 128, 64, 4, 32, 16})
+	f.Add(uint64(20260808), uint8(1), []byte{0, 0, 0})
+	f.Fuzz(func(t *testing.T, seed uint64, nRaw uint8, ops []byte) {
+		n := int(nRaw)%8 + 1
+		if len(ops) > 96 {
+			ops = ops[:96]
+		}
+		horizon := Time(int64(2 * time.Second))
+
+		// Random edge set with random positive lookaheads, identical for
+		// both engines.
+		type edgeSpec struct {
+			src, dst int
+			look     time.Duration
+		}
+		rng := fuzzRng(seed)
+		var specs []edgeSpec
+		for p := 0; p < n; p++ {
+			for q := 0; q < n; q++ {
+				if p == q || rng.next()%2 == 0 {
+					continue
+				}
+				specs = append(specs, edgeSpec{p, q, time.Duration(1+rng.next()%20) * time.Millisecond})
+			}
+		}
+
+		// The workload: ops bytes in triples (partition, start ms,
+		// behavior). Each event records itself and may emit cross sends
+		// stamped lookahead + extra past its own execution.
+		type eventSpec struct {
+			part  int
+			at    Time
+			sends []int // indexes into specs (out-edges of part)
+			extra time.Duration
+		}
+		var events []eventSpec
+		for i := 0; i+2 < len(ops); i += 3 {
+			ev := eventSpec{
+				part:  int(ops[i]) % n,
+				at:    Time(int64(ops[i+1]) * int64(time.Millisecond)),
+				extra: time.Duration(ops[i+2]>>4) * time.Millisecond,
+			}
+			nSends := int(ops[i+2]) % 3
+			for s := range specs {
+				if len(ev.sends) >= nSends {
+					break
+				}
+				if specs[s].src == ev.part {
+					ev.sends = append(ev.sends, s)
+				}
+			}
+			events = append(events, ev)
+		}
+
+		// canonical sorts one partition's record log by (at, id): within
+		// one timestamp, arrival order of messages from different source
+		// partitions is genuinely unspecified, and both engines are free
+		// to serialize it differently.
+		canonical := func(logs [][]fuzzRec) [][]fuzzRec {
+			for p := range logs {
+				sort.Slice(logs[p], func(i, j int) bool {
+					if logs[p][i].at != logs[p][j].at {
+						return logs[p][i].at < logs[p][j].at
+					}
+					return logs[p][i].id < logs[p][j].id
+				})
+			}
+			return logs
+		}
+
+		// PDES run.
+		pdesLogs := make([][]fuzzRec, n)
+		d := NewPartitionedDriver(seed, n)
+		edges := make([]*CrossEdge, len(specs))
+		for i, sp := range specs {
+			e, err := d.Connect(sp.src, sp.dst, sp.look)
+			if err != nil {
+				t.Fatalf("connect %+v: %v", sp, err)
+			}
+			edges[i] = e
+		}
+		for id, ev := range events {
+			id, ev := id, ev
+			d.Scheduler(ev.part).At(ev.at, func() {
+				now := d.Scheduler(ev.part).Now()
+				pdesLogs[ev.part] = append(pdesLogs[ev.part], fuzzRec{now, id})
+				for _, si := range ev.sends {
+					sp, id := specs[si], id
+					at := now.Add(sp.look + ev.extra)
+					edges[si].Send(at, func(any) {
+						pdesLogs[sp.dst] = append(pdesLogs[sp.dst], fuzzRec{d.Scheduler(sp.dst).Now(), 1000 + id})
+					}, nil)
+				}
+			})
+		}
+		workers := int(seed%4) + 1
+		d.Run(horizon, workers)
+
+		// Safe-horizon invariant: every partition's raw execution order is
+		// non-decreasing in time (checked before canonicalization).
+		for p, log := range pdesLogs {
+			for i := 1; i < len(log); i++ {
+				if log[i].at < log[i-1].at {
+					t.Fatalf("partition %d executed %v after %v", p, log[i], log[i-1])
+				}
+			}
+		}
+
+		// Oracle: one scheduler, same workload, cross sends become plain
+		// schedules at the same stamps.
+		oracleLogs := make([][]fuzzRec, n)
+		os := NewScheduler(seed)
+		for id, ev := range events {
+			id, ev := id, ev
+			os.At(ev.at, func() {
+				now := os.Now()
+				oracleLogs[ev.part] = append(oracleLogs[ev.part], fuzzRec{now, id})
+				for _, si := range ev.sends {
+					sp, id := specs[si], id
+					os.AtFunc(now.Add(sp.look+ev.extra), func(any) {
+						oracleLogs[sp.dst] = append(oracleLogs[sp.dst], fuzzRec{os.Now(), 1000 + id})
+					}, nil)
+				}
+			})
+		}
+		os.RunBefore(horizon)
+
+		if !reflect.DeepEqual(canonical(pdesLogs), canonical(oracleLogs)) {
+			t.Fatalf("PDES diverges from oracle\npdes:   %v\noracle: %v", pdesLogs, oracleLogs)
+		}
+	})
+}

@@ -319,13 +319,48 @@ func (s *Scheduler) RunUntil(deadline Time) {
 // RunFor executes events for d of virtual time from now.
 func (s *Scheduler) RunFor(d Duration) { s.RunUntil(s.now.Add(d)) }
 
+// RunBefore executes events with timestamps strictly before horizon, then
+// advances the clock to exactly horizon. The half-open window is what the
+// conservative PDES driver needs: events at the horizon itself belong to
+// the next window, after the barrier has delivered any cross-partition
+// arrivals stamped exactly at it.
+func (s *Scheduler) RunBefore(horizon Time) {
+	s.running = true
+	s.stopped = false
+	for !s.stopped {
+		t := s.peek()
+		if t == nil || t.at >= horizon {
+			break
+		}
+		if s.ref != nil {
+			s.ref.popMin()
+		} else {
+			s.heapPopMin()
+		}
+		s.now = t.at
+		s.Processed++
+		s.fire(t)
+	}
+	if s.now < horizon {
+		s.now = horizon
+	}
+	s.running = false
+}
+
 // Stop halts Run/RunUntil after the currently executing event returns.
 func (s *Scheduler) Stop() { s.stopped = true }
 
-// Pending returns the number of armed, un-stopped timers. (The seed
-// scheduler counted stopped-but-unpopped timers too; the reference queue
-// preserves that for comparison, the fast path does not have them
-// outlive compaction.)
+// Pending returns the number of armed, un-stopped timers — live events
+// only, never cancelled ones. The fast path keeps the count honest across
+// its lazy compaction: a Stop() increments an internal stopped counter
+// immediately (so the count drops the moment the timer is cancelled, not
+// when the node is eventually swept), and compaction removes nodes and
+// counter together. Callers must not infer queue memory from Pending():
+// stopped nodes may sit in the heap until a sweep, and peek-driven
+// operations (Step, NextEventTime) recycle stopped nodes they pass over.
+// (The seed scheduler counted stopped-but-unpopped timers too; the
+// reference queue preserves that for comparison, the fast path does not
+// have them outlive compaction.)
 func (s *Scheduler) Pending() int {
 	if s.ref != nil {
 		return s.ref.len()

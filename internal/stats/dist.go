@@ -35,6 +35,22 @@ func (d *FixedDist) Observe(v float64) {
 // N returns the observation count.
 func (d *FixedDist) N() int64 { return d.n }
 
+// Merge adds another distribution's counts into this one. Both must have
+// the same width and bucket count (they were built for the same metric).
+// Merging is commutative and associative, so folding per-partition
+// distributions in any order yields the same histogram as observing every
+// value into one — the property the PDES traffic scenario's per-region
+// merge relies on.
+func (d *FixedDist) Merge(o *FixedDist) {
+	if d.width != o.width || len(d.counts) != len(o.counts) {
+		panic("stats: merging FixedDists with different geometry")
+	}
+	for i, c := range o.counts {
+		d.counts[i] += c
+	}
+	d.n += o.n
+}
+
 // Quantile returns the q-quantile (0 < q <= 1) as the midpoint of the
 // bucket holding the ceil(q·n)-th observation — a pure function of the
 // counts, so invariant to observation order and worker count. Returns 0
