@@ -64,4 +64,17 @@ cmp "$ci_tmp/metrics1.json" "$ci_tmp/metrics3.json"
 cmp "$ci_tmp/figures1.txt" "$ci_tmp/figures2.txt"
 cmp "$ci_tmp/figures1.txt" "$ci_tmp/figures3.txt"
 
+echo "== fidelity equivalence (full emulation vs tiers + fast-forward, byte-diffed)"
+# Runs 1-3 above use the default -fidelity auto (link tiers + analytic
+# fast-forward). This run forces the complete reference datapath under
+# every packet and must produce byte-identical traces, metrics and
+# figures: the fast path is only allowed to change wall-clock time.
+# (The >= 3x wall-clock gate itself rides the bench.json fidelity
+# section through -validate in the smoke step.)
+go run ./cmd/starlink-bench -quick -workers 1 -scenario.workers 1 -fidelity full \
+    -trace "$ci_tmp/trace4.bin" -metrics.json "$ci_tmp/metrics4.json" >"$ci_tmp/figures4.txt"
+cmp "$ci_tmp/trace1.bin" "$ci_tmp/trace4.bin"
+cmp "$ci_tmp/metrics1.json" "$ci_tmp/metrics4.json"
+cmp "$ci_tmp/figures1.txt" "$ci_tmp/figures4.txt"
+
 echo "CI: all green"

@@ -93,6 +93,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	seed := fs.Uint64("seed", 1, "simulation seed")
 	workers := fs.Int("workers", 0, "parallel campaign workers (0 = GOMAXPROCS)")
 	scenarioWorkers := fs.Int("scenario.workers", 0, "PDES workers inside the fleet traffic scenario (0 = GOMAXPROCS); never changes results")
+	fidelity := fs.String("fidelity", "auto", "fleet traffic emulation fidelity: auto (tiers + fast-forward), tiers, or full; never changes results, only wall clock")
 	quick := fs.Bool("quick", false, "tiny smoke-sized campaigns for CI (ignores -scale)")
 	benchJSON := fs.String("bench.json", "", "write headline metrics as JSON to this file")
 	tracePath := fs.String("trace", "", "write the event trace here (.jsonl extension selects JSON Lines, anything else the OTR1 binary format)")
@@ -112,6 +113,17 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 	if *scale < 1 {
 		return fmt.Errorf("scale must be >= 1")
+	}
+	var fidelityMode fleet.FidelityMode
+	switch *fidelity {
+	case "auto":
+		fidelityMode = fleet.FidelityAuto
+	case "tiers":
+		fidelityMode = fleet.FidelityTiers
+	case "full":
+		fidelityMode = fleet.FidelityFull
+	default:
+		return fmt.Errorf("fidelity must be auto, tiers or full, got %q", *fidelity)
 	}
 	sz := sizesFor(*scale, *quick)
 
@@ -230,6 +242,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		Workers:         *workers,
 		ScenarioWorkers: *scenarioWorkers,
 		Seed:            *seed,
+		Fidelity:        fidelityMode,
 		Obs:             collector,
 		Progress: func(done, total int) {
 			fmt.Fprintf(stderr, "campaigns: %d/%d done\n", done, total)
@@ -245,9 +258,12 @@ func run(args []string, stdout, stderr io.Writer) error {
 	// surrounding live heap, not with the engine — timing it in a quiet
 	// process state keeps that bias out of the overhead measurement.
 	var pdesRep pdesReport
+	var fidelityRep fidelityReport
 	if *benchJSON != "" {
 		fmt.Fprintf(stderr, "pdes microbench: reference + 1/2/4/8-worker sweep...\n")
 		pdesRep = pdesMicrobench(*quick, *seed)
+		fmt.Fprintf(stderr, "fidelity microbench: full vs tiers vs tiers+fast-forward...\n")
+		fidelityRep = fidelityMicrobench(*quick, *seed)
 	}
 	fmt.Fprintf(stderr, "running %d campaigns on %d workers...\n", len(jobs), nw)
 	started := time.Now()
@@ -341,7 +357,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 		rep := makeBenchReport(*scale, *quick, nw, *seed, wall, fig1, t2, fig5)
 		rep.Fleet = makeFleetReport(fleetRes, *quick)
 		rep.Pdes = pdesRep
+		rep.Fidelity = fidelityRep
 		renderPdes(stdout, rep.Pdes)
+		renderFidelity(stdout, rep.Fidelity)
 		rep.Obs = collector.Snapshot()
 		blob, err := json.MarshalIndent(rep, "", "  ")
 		if err != nil {
@@ -394,6 +412,7 @@ type benchReport struct {
 	PacketPath packetPathReport   `json:"packet_path"`
 	Fleet      fleetReport        `json:"fleet"`
 	Pdes       pdesReport         `json:"pdes"`
+	Fidelity   fidelityReport     `json:"fidelity"`
 }
 
 const benchSchema = "starlink-bench/v1"
@@ -788,5 +807,8 @@ func validateBenchJSON(path string) error {
 	if err := validateFleetReport(rep.Fleet); err != nil {
 		return err
 	}
-	return validatePdesReport(rep.Pdes)
+	if err := validatePdesReport(rep.Pdes); err != nil {
+		return err
+	}
+	return validateFidelityReport(rep.Fidelity)
 }

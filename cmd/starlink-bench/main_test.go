@@ -153,6 +153,14 @@ func TestValidateBenchJSON(t *testing.T) {
 			},
 			Speedup8W: 3.33, OneWorkerOverheadPct: 5, ResultsMatch: true,
 		},
+		Fidelity: fidelityReport{
+			Terminals: 2000, Partitions: 16, ProbeIntervalMs: 250,
+			LinksFull: 0, LinksDelayOnly: 4000, LinksFast: 304,
+			WallFullSeconds: 0.18, WallTiersSeconds: 0.13, WallAutoSeconds: 0.045,
+			EventsFull: 1000000, EventsTiers: 550000, EventsAuto: 180000,
+			EventsSkipped: 370000, FastForwarded: 54000,
+			SpeedupTiers: 1.38, SpeedupTotal: 4.0, ResultsMatch: true,
+		},
 	}
 	write := func(t *testing.T, rep benchReport) string {
 		t.Helper()
@@ -205,6 +213,18 @@ func TestValidateBenchJSON(t *testing.T) {
 		"pdes speedup below floor on 8 cores": func(r *benchReport) {
 			r.Pdes.Cores = 8
 			r.Pdes.Speedup8W = 2.0
+		},
+		"no fidelity":               func(r *benchReport) { r.Fidelity = fidelityReport{} },
+		"fidelity results mismatch": func(r *benchReport) { r.Fidelity.ResultsMatch = false },
+		"fidelity speedup below 3x": func(r *benchReport) { r.Fidelity.SpeedupTotal = 2.5 },
+		"fidelity nothing downgraded": func(r *benchReport) {
+			r.Fidelity.LinksDelayOnly, r.Fidelity.LinksFast = 0, 0
+		},
+		"fidelity events not decreasing": func(r *benchReport) {
+			r.Fidelity.EventsAuto = r.Fidelity.EventsTiers
+		},
+		"fidelity ff absorbed nothing": func(r *benchReport) {
+			r.Fidelity.FastForwarded, r.Fidelity.EventsSkipped = 0, 0
 		},
 	}
 	for name, mutate := range broken {

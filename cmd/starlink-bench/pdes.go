@@ -68,6 +68,11 @@ func pdesMicrobench(quick bool, seed uint64) pdesReport {
 			Partitions:            16,
 			ScenarioWorkers:       workers,
 			ReferencePartitioning: reference,
+			// Pinned to the full-emulation reference datapath: this
+			// microbench gates the PDES engine's per-event overhead and
+			// scaling, and the fast-forward would absorb the very events
+			// being measured (the fidelity microbench covers that axis).
+			Fidelity: fleet.FidelityFull,
 		}
 	}
 	// Timed region: the engine's Run phase only. Building the scenario

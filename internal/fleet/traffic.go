@@ -51,6 +51,39 @@ const probeSize = 100
 // fit the 10.p.0.0/16 addressing scheme.
 const maxTrafficPartitions = 255
 
+// FidelityMode selects how much of the emulation machinery the traffic
+// scenario runs. The zero value is FidelityAuto — the fast path — because
+// the lower modes are proven bit-identical to FidelityFull on every
+// output (results, metrics, traces) by the equivalence suite and the
+// ci.sh byte-diff, so there is no correctness reason to default slower.
+type FidelityMode uint8
+
+const (
+	// FidelityAuto downgrades link fidelity tiers where provably sound
+	// (netem.AutoSelectFidelity) and fast-forwards steady-state probe
+	// trains in closed form between epoch boundaries.
+	FidelityAuto FidelityMode = iota
+	// FidelityTiers downgrades link tiers but fires every probe event.
+	FidelityTiers
+	// FidelityFull runs the complete reference datapath everywhere and
+	// never fast-forwards — the ground truth the other modes are held to.
+	FidelityFull
+)
+
+// String implements fmt.Stringer.
+func (m FidelityMode) String() string {
+	switch m {
+	case FidelityAuto:
+		return "auto"
+	case FidelityTiers:
+		return "tiers"
+	case FidelityFull:
+		return "full"
+	default:
+		return "fidelity?"
+	}
+}
+
 // TrafficConfig parameterizes the packet-level fleet scenario.
 type TrafficConfig struct {
 	// Fleet configures the underlying terminal population and epoch
@@ -77,6 +110,10 @@ type TrafficConfig struct {
 	// campaign's sink at index Partitions. Source naming goes through
 	// obs.ShardSource, so exports are worker-invariant.
 	Collector *obs.Collector
+	// Fidelity selects the emulation mode (default FidelityAuto). Any
+	// mode produces bit-identical results, metrics and traces — only
+	// wall-clock time and engine event counts differ.
+	Fidelity FidelityMode
 }
 
 func (c TrafficConfig) withDefaults() TrafficConfig {
@@ -137,6 +174,10 @@ type probeRef struct {
 	seq  int
 	sent sim.Time
 	wait bool
+	// up/down are this terminal's private access links, kept so the
+	// fast-forward can credit their stats and carry their FIFO arrival
+	// clamp forward in closed form.
+	up, down *netem.Link
 }
 
 // trafficPart is one partition's share of the scenario: a network on the
@@ -152,6 +193,11 @@ type trafficPart struct {
 	lo, hi  int // terminal range [lo, hi)
 	probes  []probeRef
 	acc     []trafficAccum
+	// meshSelf is the intra-partition egress->ingress link — the one mesh
+	// link fast-forwarded probe trains traverse (twice per probe).
+	meshSelf *netem.Link
+	// ffProbes counts probes answered in closed form by the fast-forward.
+	ffProbes int64
 
 	sink     *obs.Sink
 	cSent    *obs.Counter
@@ -171,6 +217,16 @@ type Traffic struct {
 	driver *sim.PartitionedDriver // nil on the reference path
 	sched  *sim.Scheduler         // the reference path's single scheduler
 	parts  []*trafficPart
+
+	// Fast-forward state (FidelityAuto): precomputed integer-ns constants
+	// of the epoch grid plus the topology handles the closed forms credit.
+	ff           bool
+	ivlNs        int64
+	epochNs      int64
+	lastEpochAt  int64 // instant of the final reassignment; delays are constant from here to the horizon
+	lookNs       int64
+	home         []int // gateway -> home partition, from the build-time tally
+	gwTo, gwFrom []*netem.Link
 }
 
 func terminalAddr(part, i int) netem.Addr {
@@ -206,6 +262,15 @@ func NewTraffic(cfg TrafficConfig) *Traffic {
 		lookahead: TrafficLookahead(f.cfg.Shells),
 		horizon:   sim.Time(int64(f.cfg.Horizon)),
 	}
+	tr.ff = cfg.Fidelity == FidelityAuto
+	tr.ivlNs = int64(cfg.Interval)
+	tr.epochNs = int64(f.cfg.Epoch)
+	tr.lookNs = int64(tr.lookahead)
+	epochs := int64(f.cfg.Horizon / f.cfg.Epoch)
+	if epochs < 1 {
+		epochs = 1
+	}
+	tr.lastEpochAt = (epochs - 1) * tr.epochNs
 	tr.pm = f.PartitionTerminals(cfg.Partitions)
 	nParts := tr.pm.Parts
 
@@ -280,6 +345,7 @@ func (tr *Traffic) build(scheds []*sim.Scheduler) {
 		for q := 0; q < nParts; q++ {
 			if p == q {
 				mesh[p][q] = tr.parts[p].net.AddLink(tr.parts[p].egress, tr.parts[p].ingress, meshCfg)
+				tr.parts[p].meshSelf = mesh[p][q]
 				continue
 			}
 			edge, err := tr.driver.Connect(p, q, look)
@@ -291,33 +357,26 @@ func (tr *Traffic) build(scheds []*sim.Scheduler) {
 	}
 
 	// Pass 3: gateways and routes. Each gateway is homed in the partition
-	// holding the most terminals it initially serves, so most probes stay
-	// intra-partition — cross-edge traffic (and with it the conservative
-	// engine's per-window overhead) scales with the partition map's real
-	// cut, not with the gateway count. The tally is a pure function of the
-	// fleet's initial assignment, hence identical in PDES and reference
-	// mode; gateways nobody serves yet fall back to g mod P. Every egress
+	// owning its own grid cell: assignment picks the gateway with the
+	// shortest slant range from the (roughly overhead) serving satellite,
+	// so a terminal's gateway is almost always geographically nearby, and
+	// homing by the gateway's position keeps most probes intra-partition —
+	// cross-edge traffic (and with it the conservative engine's per-window
+	// overhead) scales with the partition map's real cut, not with the
+	// gateway count. The mapping is a pure function of (config, partition
+	// count), hence identical in PDES and reference mode. Every egress
 	// router can still reach every gateway through the mesh, and routes
 	// replies by terminal /16 prefix, so homing never affects delivery or
-	// delay — only which edges carry the packets.
+	// delay — only which edges carry the packets. Intra-partition homing
+	// also decides where the fast-forward can engage: an absorbed probe
+	// train must never touch a cross edge.
 	home := make([]int, len(f.cfg.Gateways))
-	tally := make([]int32, len(f.cfg.Gateways)*nParts)
-	for p := 0; p < nParts; p++ {
-		for t := tr.parts[p].lo; t < tr.parts[p].hi; t++ {
-			if g := f.gw[t]; g >= 0 {
-				tally[int(g)*nParts+p]++
-			}
-		}
+	for g, gwc := range f.cfg.Gateways {
+		home[g] = int(tr.pm.CellPart[f.grid.cellOf(gwc.Pos.LatDeg, gwc.Pos.LonDeg)])
 	}
-	for g := range home {
-		home[g] = g % nParts
-		best := int32(0)
-		for p := 0; p < nParts; p++ {
-			if n := tally[g*nParts+p]; n > best {
-				best, home[g] = n, p
-			}
-		}
-	}
+	tr.home = home
+	tr.gwTo = make([]*netem.Link, len(f.cfg.Gateways))
+	tr.gwFrom = make([]*netem.Link, len(f.cfg.Gateways))
 	for g := range f.cfg.Gateways {
 		p := home[g]
 		pt := tr.parts[p]
@@ -327,6 +386,7 @@ func (tr *Traffic) build(scheds []*sim.Scheduler) {
 		fromGw := pt.net.AddLink(gw, pt.egress, netem.LinkConfig{})
 		gw.SetDefaultRoute(fromGw)
 		pt.ingress.AddRoute(gw.Addr(), toGw)
+		tr.gwTo[g], tr.gwFrom[g] = toGw, fromGw
 	}
 	for p := 0; p < nParts; p++ {
 		pt := tr.parts[p]
@@ -357,6 +417,7 @@ func (tr *Traffic) build(scheds []*sim.Scheduler) {
 
 			ref := &pt.probes[t-pt.lo]
 			ref.part, ref.term, ref.node = pt, int32(t), node
+			ref.up, ref.down = up, down
 			node.Bind(netem.ProtoICMP, 0, func(pkt *netem.Packet) {
 				ic, ok := pkt.Payload.(*netem.ICMP)
 				if !ok || ic.Type != netem.ICMPEchoReply || !ref.wait || ic.Seq != ref.seq {
@@ -376,6 +437,128 @@ func (tr *Traffic) build(scheds []*sim.Scheduler) {
 			pt.sched.AtFunc(sim.Time(int64(f.seed[t]%uint64(interval))), probeFire, ref)
 		}
 	}
+
+	// Fidelity pass: every link in this topology is rate-0 and queue-less
+	// by construction, so auto-selection downgrades all of them — access
+	// links (which carry an outage predicate) to delay-only, the mesh and
+	// gateway links to fast. FidelityFull skips the pass and keeps the
+	// complete reference datapath under every packet.
+	if tr.cfg.Fidelity != FidelityFull {
+		for _, pt := range tr.parts {
+			pt.net.AutoSelectFidelity()
+		}
+	}
+}
+
+// ffAbsorb tries to answer this probe fire — and the remainder of its
+// steady-state train — in closed form, without emulating a single
+// packet. It exploits the scenario's piecewise-constant structure: the
+// fleet arrays (delayNs, gw) are written only at epoch barriers, so
+// between `now` and the next boundary every one of this terminal's
+// probes traverses the same six queue-less hops with the same constant
+// delays, and the outcome of each is a pure function of its fire
+// instant. The absorbed train is provably bit-identical to emulation:
+//
+//   - Every hop's send happens strictly inside the constant window
+//     (the last reply lands at tau+2d < constEnd and d > L, so the
+//     last down-link send at tau+d+L is earlier still), so no virtual
+//     packet ever sees a delay from the next epoch.
+//   - rtt < interval means each reply lands before the next fire —
+//     exactly one probe outstanding, seq always matches.
+//   - The FIFO clamp on the private access links is handled exactly:
+//     within the window raw arrivals grow monotonically (constant d),
+//     so the clamp can only bind against carryover from a previous
+//     epoch — the entry check below — and the final clamp state is
+//     restored through AccountBypassed's max-merge.
+//   - The shared mesh/gateway links have constant delay, so real sends
+//     (always chronological) can never be clamped; their clamp state is
+//     deliberately NOT advanced to a virtual future arrival, which
+//     could otherwise clamp another terminal's live packet in a way
+//     full emulation never would.
+//
+// Anything aperiodic — epoch boundary inside the train, a gateway homed
+// in another partition (cross-edge traffic), a reply that would cross
+// the boundary or the horizon, clamp carryover — fails an eligibility
+// check and falls back to plain emulation for this fire (return false);
+// the next fire retries. Outage epochs absorb trivially: the probe is
+// never transmitted, so the whole window's skips collapse into counter
+// arithmetic.
+func ffAbsorb(ref *probeRef) bool {
+	pt := ref.part
+	tr := pt.tr
+	f := tr.fleet
+	t := int(ref.term)
+	nowNs := int64(pt.sched.Now())
+	ivl := tr.ivlNs
+	constEnd := int64(tr.horizon)
+	if nowNs < tr.lastEpochAt {
+		constEnd = (nowNs/tr.epochNs + 1) * tr.epochNs
+	}
+	a := &pt.acc[f.region[t]]
+
+	d := f.delayNs[t]
+	g := f.gw[t]
+	if d < 0 || g < 0 {
+		// Outage: every fire up to the boundary is a skip. The re-arm
+		// keeps the terminal's phase grid, so the first fire at or past
+		// the boundary re-evaluates against the reassigned fleet.
+		k := (constEnd-1-nowNs)/ivl + 1
+		a.skipped += k
+		pt.cSkipped.Add(uint64(k))
+		pt.ffProbes += k
+		pt.sched.CreditSkipped(uint64(k - 1))
+		if next := sim.Time(nowNs + k*ivl); next < tr.horizon {
+			pt.sched.AtFunc(next, probeFire, ref)
+		}
+		return true
+	}
+
+	rtt := 2 * d
+	if rtt >= ivl || tr.home[g] != pt.idx || nowNs+rtt >= constEnd {
+		// Overlapping probes, a cross-partition path, or a train too
+		// close to the boundary (its reply would land in the next
+		// window, or — at the horizon — never land at all, which plain
+		// emulation reproduces as an in-flight loss).
+		return false
+	}
+	if sim.Time(nowNs+d-tr.lookNs) < ref.up.LastArrival() ||
+		sim.Time(nowNs+rtt) < ref.down.LastArrival() {
+		// A previous epoch's larger delay left a FIFO clamp that would
+		// bind on this fire; emulate it (the clamp applies identically
+		// there) and retry on the next, whose raw arrivals are later.
+		return false
+	}
+
+	// k fires at now, now+ivl, ..., last — the longest prefix of the
+	// train whose replies all land strictly before the boundary.
+	k := (constEnd-rtt-1-nowNs)/ivl + 1
+	last := nowNs + (k-1)*ivl
+	ref.seq += int(k)
+	ref.sent = sim.Time(last)
+	ref.wait = false
+	a.sent += k
+	a.recv += k
+	a.rtt.ObserveN(float64(rtt)/1e6, k)
+	pt.cSent.Add(uint64(k))
+	pt.cRecv.Add(uint64(k))
+	pt.hRTT.ObserveN(rtt, uint64(k))
+	// Per probe: one packet up, two mesh traversals (request + echo),
+	// one each through the gateway pair, one packet down.
+	kk := uint64(k)
+	ref.up.AccountBypassed(kk, sim.Time(last+d-tr.lookNs))
+	pt.meshSelf.AccountBypassed(2*kk, 0)
+	tr.gwTo[g].AccountBypassed(kk, 0)
+	tr.gwFrom[g].AccountBypassed(kk, 0)
+	ref.down.AccountBypassed(kk, sim.Time(last+rtt))
+	pt.ffProbes += k
+	// Each emulated probe costs seven events on the delay-only/fast
+	// tiers (the fire plus six single-hop deliveries); this fire's own
+	// event did execute.
+	pt.sched.CreditSkipped(7*kk - 1)
+	if next := sim.Time(last + ivl); next < tr.horizon {
+		pt.sched.AtFunc(next, probeFire, ref)
+	}
+	return true
 }
 
 // probeFire sends one ICMP echo probe and re-arms the chain. It is a
@@ -385,6 +568,9 @@ func probeFire(arg any) {
 	ref := arg.(*probeRef)
 	pt := ref.part
 	tr := pt.tr
+	if tr.ff && ffAbsorb(ref) {
+		return
+	}
 	t := int(ref.term)
 	now := pt.sched.Now()
 	if next := now.Add(tr.cfg.Interval); next < tr.horizon {
@@ -458,6 +644,40 @@ func (tr *Traffic) Run() *TrafficResult {
 // RunTraffic builds and runs a packet-level fleet scenario in one call.
 func RunTraffic(cfg TrafficConfig) *TrafficResult {
 	return NewTraffic(cfg).Run()
+}
+
+// FastForwarded returns how many probe fires the analytic fast-forward
+// absorbed in closed form (0 except in FidelityAuto mode). Deliberately
+// not part of TrafficResult: the count depends on the partition map
+// (gateway homing decides eligibility), while every TrafficResult field
+// is partition-count invariant.
+func (tr *Traffic) FastForwarded() int64 {
+	var n int64
+	for _, pt := range tr.parts {
+		n += pt.ffProbes
+	}
+	return n
+}
+
+// EventsSkipped returns how many scheduler events the fast-forward
+// displaced — the work full-per-event emulation would have executed.
+// Processed + skipped is comparable across fidelity modes.
+func (tr *Traffic) EventsSkipped() uint64 {
+	if tr.driver != nil {
+		return tr.driver.EventsSkipped()
+	}
+	return tr.sched.Skipped
+}
+
+// LinkTiers sums the per-partition link tier counts — how many links the
+// fidelity auto-selection left at full and downgraded to delay-only and
+// fast.
+func (tr *Traffic) LinkTiers() (full, delayOnly, fast int) {
+	for _, pt := range tr.parts {
+		f, d, fa := pt.net.TierCounts()
+		full, delayOnly, fast = full+f, delayOnly+d, fast+fa
+	}
+	return full, delayOnly, fast
 }
 
 // TrafficResult is the merged outcome of a packet-level fleet scenario.

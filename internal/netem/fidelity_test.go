@@ -1,0 +1,261 @@
+package netem
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"starlinkperf/internal/sim"
+)
+
+// TestAutoFidelitySelection pins the downgrade rules: queue machinery
+// reachable => full; loss/outage/jitter reachable => delay-only; bare
+// propagation => fast.
+func TestAutoFidelitySelection(t *testing.T) {
+	rng := sim.NewRNG(1)
+	cases := []struct {
+		name string
+		cfg  LinkConfig
+		want Fidelity
+	}{
+		{"bare", LinkConfig{}, FidelityFast},
+		{"delay only", LinkConfig{Delay: ConstantDelay(time.Millisecond)}, FidelityFast},
+		{"rated", LinkConfig{RateBps: 8e6}, FidelityFull},
+		{"queue cap", LinkConfig{QueueBytes: 1500}, FidelityFull},
+		{"loss", LinkConfig{Loss: &BernoulliLoss{P: 0.1, Rng: rng}}, FidelityDelayOnly},
+		{"outage", LinkConfig{Down: func(sim.Time) bool { return false }}, FidelityDelayOnly},
+		{"jitter", LinkConfig{Jitter: func(sim.Time) time.Duration { return 0 }}, FidelityDelayOnly},
+	}
+	s := sim.NewScheduler(1)
+	nw := New(s)
+	a := nw.NewNode("a", MustParseAddr("10.0.0.1"))
+	b := nw.NewNode("b", MustParseAddr("10.0.0.2"))
+	links := make([]*Link, len(cases))
+	for i, c := range cases {
+		links[i] = nw.AddLink(a, b, c.cfg)
+		if got := links[i].Fidelity(); got != FidelityFull {
+			t.Fatalf("%s: tier %v before auto-selection, want full", c.name, got)
+		}
+	}
+	delayOnly, fast := nw.AutoSelectFidelity()
+	if delayOnly != 3 || fast != 2 {
+		t.Errorf("AutoSelectFidelity = (%d, %d), want (3, 2)", delayOnly, fast)
+	}
+	for i, c := range cases {
+		if got := links[i].Fidelity(); got != c.want {
+			t.Errorf("%s: tier = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+// TestRetierOnMutation holds the auto-selection sound under the Set*
+// mutators: an auto-downgraded link must re-derive its tier when a
+// mutation makes skipped machinery reachable (and back), while an
+// explicitly configured tier is the caller's to keep.
+func TestRetierOnMutation(t *testing.T) {
+	s := sim.NewScheduler(1)
+	nw := New(s)
+	a := nw.NewNode("a", MustParseAddr("10.0.0.1"))
+	b := nw.NewNode("b", MustParseAddr("10.0.0.2"))
+	auto := nw.AddLink(a, b, LinkConfig{Delay: ConstantDelay(time.Millisecond)})
+	nw.AutoSelectFidelity()
+	if auto.Fidelity() != FidelityFast {
+		t.Fatalf("tier = %v after auto-selection, want fast", auto.Fidelity())
+	}
+	auto.SetRate(8e6)
+	if auto.Fidelity() != FidelityFull {
+		t.Errorf("tier = %v after SetRate(8e6), want full", auto.Fidelity())
+	}
+	auto.SetRate(0)
+	if auto.Fidelity() != FidelityFast {
+		t.Errorf("tier = %v after SetRate(0), want fast", auto.Fidelity())
+	}
+	auto.SetDown(func(sim.Time) bool { return false })
+	if auto.Fidelity() != FidelityDelayOnly {
+		t.Errorf("tier = %v after SetDown, want delay-only", auto.Fidelity())
+	}
+	auto.SetDown(nil)
+	auto.SetLoss(&BernoulliLoss{P: 0.5, Rng: sim.NewRNG(2)})
+	if auto.Fidelity() != FidelityDelayOnly {
+		t.Errorf("tier = %v after SetLoss, want delay-only", auto.Fidelity())
+	}
+
+	pinned := nw.AddLink(a, b, LinkConfig{Fidelity: FidelityDelayOnly})
+	pinned.SetRate(8e6)
+	if pinned.Fidelity() != FidelityDelayOnly {
+		t.Errorf("explicit tier changed to %v by SetRate; mutators must leave caller-pinned tiers alone", pinned.Fidelity())
+	}
+}
+
+// tierScenario drives one fixed packet schedule through a 3-hop chain
+// whose rate-0 links exercise everything the delay-only tier must
+// preserve — a delay cliff that makes the FIFO clamp bind, deterministic
+// jitter, an outage window, Bernoulli loss — plus a final rated hop that
+// auto-selection must keep at full fidelity. It returns the delivery
+// instants at the far node and the per-link stats.
+func tierScenario(t *testing.T, autoSelect bool) ([]sim.Time, []LinkStats) {
+	t.Helper()
+	s := sim.NewScheduler(42)
+	nw := New(s)
+	a := nw.NewNode("a", MustParseAddr("10.0.0.1"))
+	b := nw.NewNode("b", MustParseAddr("10.0.0.2"))
+	c := nw.NewNode("c", MustParseAddr("10.0.0.3"))
+	d := nw.NewNode("d", MustParseAddr("10.0.0.4"))
+	l1 := nw.AddLink(a, b, LinkConfig{
+		// Cliff at 50 ms: packets sent just after are clamped behind
+		// packets sent just before.
+		Delay: func(now sim.Time) time.Duration {
+			if now < sim.Time(50*time.Millisecond) {
+				return 10 * time.Millisecond
+			}
+			return time.Millisecond
+		},
+		Jitter: func(now sim.Time) time.Duration { return time.Duration(int64(now) % 5000) },
+	})
+	l2 := nw.AddLink(b, c, LinkConfig{
+		Delay: ConstantDelay(5 * time.Millisecond),
+		Down: func(now sim.Time) bool {
+			return now >= sim.Time(20*time.Millisecond) && now < sim.Time(30*time.Millisecond)
+		},
+		Loss: &BernoulliLoss{P: 0.2, Rng: sim.NewRNG(7)},
+	})
+	l3 := nw.AddLink(c, d, LinkConfig{RateBps: 8e6, Delay: ConstantDelay(time.Millisecond)})
+	a.SetDefaultRoute(l1)
+	b.SetDefaultRoute(l2)
+	c.SetDefaultRoute(l3)
+	if autoSelect {
+		delayOnly, fast := nw.AutoSelectFidelity()
+		if delayOnly != 2 || fast != 0 {
+			t.Fatalf("AutoSelectFidelity = (%d, %d), want (2, 0)", delayOnly, fast)
+		}
+		if l3.Fidelity() != FidelityFull {
+			t.Fatalf("rated link downgraded to %v", l3.Fidelity())
+		}
+	}
+
+	var arrivals []sim.Time
+	d.Bind(ProtoUDP, 1, func(*Packet) { arrivals = append(arrivals, s.Now()) })
+	for i := 0; i < 200; i++ {
+		s.AtFunc(sim.Time(i)*sim.Time(500*time.Microsecond), func(any) {
+			a.Send(&Packet{Dst: d.Addr(), DstPort: 1, Proto: ProtoUDP, Size: 1000})
+		}, nil)
+	}
+	s.Run()
+	return arrivals, []LinkStats{l1.Stats(), l2.Stats(), l3.Stats()}
+}
+
+// TestTierEquivalence is the netem half of the tentpole's equivalence
+// claim: with auto-selected tiers, every delivery instant and every link
+// counter is exactly what the full datapath produces — clamp binding,
+// RNG draw order and drop decisions included.
+func TestTierEquivalence(t *testing.T) {
+	refArrivals, refStats := tierScenario(t, false)
+	gotArrivals, gotStats := tierScenario(t, true)
+	if !reflect.DeepEqual(gotArrivals, refArrivals) {
+		t.Errorf("tiered arrivals diverge from full emulation: %d vs %d deliveries", len(gotArrivals), len(refArrivals))
+	}
+	if !reflect.DeepEqual(gotStats, refStats) {
+		t.Errorf("tiered link stats diverge:\n got %+v\nwant %+v", gotStats, refStats)
+	}
+	if refStats[1].DropsLoss == 0 || refStats[1].DropsDown == 0 {
+		t.Fatalf("scenario exercised no drops (%+v); the equivalence proves nothing", refStats[1])
+	}
+}
+
+// TestQueuedPeakCountsInService pins the documented QueuedPeak
+// semantics: the packet in service occupies its bytes until
+// serialization ends, so three back-to-back 1000 B sends peak at 3000,
+// not 2000 — and a rate-0 link's peak stays identically zero.
+func TestQueuedPeakCountsInService(t *testing.T) {
+	s, nw := testNet(t)
+	a := nw.NewNode("a", MustParseAddr("10.0.0.1"))
+	b := nw.NewNode("b", MustParseAddr("10.0.0.2"))
+	rated := nw.AddLink(a, b, LinkConfig{RateBps: 8e6})
+	a.AddRoute(b.Addr(), rated)
+	for i := 0; i < 3; i++ {
+		a.Send(&Packet{Dst: b.Addr(), Proto: ProtoUDP, Size: 1000})
+	}
+	s.Run()
+	if got := rated.Stats().QueuedPeak; got != 3000 {
+		t.Errorf("QueuedPeak = %d, want 3000 (two queued plus the packet in service)", got)
+	}
+
+	s2 := sim.NewScheduler(1)
+	nw2 := New(s2)
+	x := nw2.NewNode("x", MustParseAddr("10.0.1.1"))
+	y := nw2.NewNode("y", MustParseAddr("10.0.1.2"))
+	flat := nw2.AddLink(x, y, LinkConfig{Delay: ConstantDelay(time.Millisecond)})
+	x.AddRoute(y.Addr(), flat)
+	for i := 0; i < 3; i++ {
+		x.Send(&Packet{Dst: y.Addr(), Proto: ProtoUDP, Size: 1000})
+	}
+	s2.Run()
+	if got := flat.Stats().QueuedPeak; got != 0 {
+		t.Errorf("rate-0 QueuedPeak = %d, want 0", got)
+	}
+}
+
+// TestNegativeJitterPanics enforces the LinkConfig.Jitter contract on
+// both datapaths: a negative sample must panic deterministically at the
+// draw instant instead of corrupting the FIFO clamp.
+func TestNegativeJitterPanics(t *testing.T) {
+	for _, tier := range []Fidelity{FidelityFull, FidelityDelayOnly} {
+		tier := tier
+		t.Run(tier.String(), func(t *testing.T) {
+			s := sim.NewScheduler(1)
+			nw := New(s)
+			a := nw.NewNode("a", MustParseAddr("10.0.0.1"))
+			b := nw.NewNode("b", MustParseAddr("10.0.0.2"))
+			l := nw.AddLink(a, b, LinkConfig{
+				Jitter:   func(sim.Time) time.Duration { return -time.Microsecond },
+				Fidelity: tier,
+			})
+			a.AddRoute(b.Addr(), l)
+			defer func() {
+				r := recover()
+				if r == nil {
+					t.Fatal("negative jitter did not panic")
+				}
+				if msg, ok := r.(string); !ok || !strings.Contains(msg, "Jitter") {
+					t.Fatalf("panic = %v, want the jitter contract message", r)
+				}
+			}()
+			a.Send(&Packet{Dst: b.Addr(), Proto: ProtoUDP, Size: 100})
+			s.Run()
+		})
+	}
+}
+
+// TestAccountBypassedGuards pins the fast-forward crediting contract:
+// stats and clamp state advance on a downgraded link, the clamp only
+// moves forward, and crediting a full-fidelity or rated link panics.
+func TestAccountBypassedGuards(t *testing.T) {
+	s := sim.NewScheduler(1)
+	nw := New(s)
+	a := nw.NewNode("a", MustParseAddr("10.0.0.1"))
+	b := nw.NewNode("b", MustParseAddr("10.0.0.2"))
+	l := nw.AddLink(a, b, LinkConfig{Delay: ConstantDelay(time.Millisecond)})
+	nw.AutoSelectFidelity()
+
+	l.AccountBypassed(3, sim.Time(5*time.Millisecond))
+	if st := l.Stats(); st.Sent != 3 || st.Delivered != 3 {
+		t.Errorf("stats after crediting 3 = %+v", st)
+	}
+	if got := l.LastArrival(); got != sim.Time(5*time.Millisecond) {
+		t.Errorf("LastArrival = %v, want 5ms", got)
+	}
+	// Max-merge: an earlier virtual arrival must not rewind the clamp.
+	l.AccountBypassed(1, sim.Time(2*time.Millisecond))
+	if got := l.LastArrival(); got != sim.Time(5*time.Millisecond) {
+		t.Errorf("LastArrival rewound to %v", got)
+	}
+
+	full := nw.AddLink(a, b, LinkConfig{RateBps: 8e6})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("AccountBypassed on a full-fidelity link did not panic")
+		}
+	}()
+	full.AccountBypassed(1, 0)
+}

@@ -1,6 +1,7 @@
 package netem
 
 import (
+	"fmt"
 	"time"
 
 	"starlinkperf/internal/obs"
@@ -15,6 +16,41 @@ type DelayFunc func(now sim.Time) time.Duration
 // ConstantDelay returns a DelayFunc with a fixed delay.
 func ConstantDelay(d time.Duration) DelayFunc {
 	return func(sim.Time) time.Duration { return d }
+}
+
+// Fidelity selects how much of the link machinery a packet traverses.
+// The zero value is FidelityFull — the reference datapath every lower
+// tier is held bit-identical to (on configurations where the skipped
+// machinery is provably unreachable; see Network.AutoSelectFidelity).
+type Fidelity uint8
+
+const (
+	// FidelityFull is the complete datapath: DropTail queue, serialization
+	// at RateBps, outage and medium loss at the end of serialization, then
+	// propagation + jitter. Always correct; the in-tree reference.
+	FidelityFull Fidelity = iota
+	// FidelityDelayOnly skips the serialization/queue hop (sound only when
+	// RateBps == 0 and QueueBytes == 0, where the full path's queue
+	// machinery is unreachable) but still applies outage, medium loss,
+	// propagation and jitter — in one scheduler event instead of two.
+	FidelityDelayOnly
+	// FidelityFast is pure delay passthrough for infinite-rate lossless
+	// mesh/cross links: propagation only, nothing else evaluated.
+	FidelityFast
+)
+
+// String implements fmt.Stringer.
+func (f Fidelity) String() string {
+	switch f {
+	case FidelityFull:
+		return "full"
+	case FidelityDelayOnly:
+		return "delay-only"
+	case FidelityFast:
+		return "fast"
+	default:
+		return "fidelity?"
+	}
 }
 
 // LinkConfig describes one direction of a link.
@@ -34,8 +70,18 @@ type LinkConfig struct {
 	// serialization during an outage are dropped. nil means always up.
 	Down func(now sim.Time) bool
 	// Jitter, if non-nil, returns an extra per-packet propagation delay
-	// (e.g. LEO scheduling jitter). It must be non-negative.
+	// (e.g. LEO scheduling jitter). It must be non-negative: the FIFO
+	// arrival clamp and the fast-forward closed forms both assume delays
+	// only stretch forward. A negative sample panics deterministically at
+	// the instant it is drawn rather than silently corrupting arrivals.
 	Jitter func(now sim.Time) time.Duration
+	// Fidelity selects the datapath tier (see the Fidelity constants).
+	// The zero value is FidelityFull. Most callers leave it zero and let
+	// Network.AutoSelectFidelity downgrade links whose configuration makes
+	// the skipped machinery unreachable; setting a lower tier explicitly
+	// on a link with a rate, queue, loss or outage changes semantics and
+	// is on the caller.
+	Fidelity Fidelity
 }
 
 // DropReason classifies why a link dropped a packet.
@@ -76,7 +122,11 @@ type LinkStats struct {
 	DropsQueue uint64
 	DropsLoss  uint64
 	DropsDown  uint64
-	QueuedPeak int // peak queue occupancy in bytes
+	// QueuedPeak is the peak queue occupancy in bytes, counting the
+	// packet in service (it occupies its bytes until serialization ends),
+	// matching how QueueBytes caps the queue. Rate-0 links never queue,
+	// so their peak stays 0.
+	QueuedPeak int
 }
 
 // Link is one direction of a connection between two nodes.
@@ -90,6 +140,12 @@ type Link struct {
 	queuedBytes int
 	lastArrival sim.Time
 	stats       LinkStats
+
+	// autoTier marks cfg.Fidelity as chosen by AutoSelectFidelity rather
+	// than the caller: the Set* mutators then re-derive the tier so a
+	// post-selection SetRate/SetLoss/SetDown can never leave a downgraded
+	// link with machinery the tier would skip.
+	autoTier bool
 
 	// obs is the shared network observability bundle, nil when disabled;
 	// obsSubj is this link's interned trace subject.
@@ -118,13 +174,40 @@ func (l *Link) Stats() LinkStats { return l.stats }
 func (l *Link) QueuedBytes() int { return l.queuedBytes }
 
 // SetLoss replaces the link's medium loss model.
-func (l *Link) SetLoss(m LossModel) { l.cfg.Loss = m }
+func (l *Link) SetLoss(m LossModel) { l.cfg.Loss = m; l.retier() }
 
 // SetRate replaces the link's serialization rate.
-func (l *Link) SetRate(bps float64) { l.cfg.RateBps = bps }
+func (l *Link) SetRate(bps float64) { l.cfg.RateBps = bps; l.retier() }
 
 // SetDown replaces the link's outage predicate.
-func (l *Link) SetDown(down func(sim.Time) bool) { l.cfg.Down = down }
+func (l *Link) SetDown(down func(sim.Time) bool) { l.cfg.Down = down; l.retier() }
+
+// Fidelity returns the link's current datapath tier.
+func (l *Link) Fidelity() Fidelity { return l.cfg.Fidelity }
+
+// autoFidelity derives the highest-performing tier the configuration
+// provably supports: no rate and no queue cap means the queue machinery
+// is unreachable (FidelityDelayOnly); additionally no loss, no outage and
+// no jitter means nothing but propagation can happen (FidelityFast).
+func (c *LinkConfig) autoFidelity() Fidelity {
+	if c.RateBps > 0 || c.QueueBytes > 0 {
+		return FidelityFull
+	}
+	if c.Loss == nil && c.Down == nil && c.Jitter == nil {
+		return FidelityFast
+	}
+	return FidelityDelayOnly
+}
+
+// retier re-derives an auto-selected tier after a config mutation.
+// Explicitly configured tiers are left alone — the caller asked for that
+// semantics — but an auto-downgraded link must never keep a tier whose
+// skipped machinery a mutation just made reachable.
+func (l *Link) retier() {
+	if l.autoTier {
+		l.cfg.Fidelity = l.cfg.autoFidelity()
+	}
+}
 
 // Config returns the link configuration (by value).
 func (l *Link) Config() LinkConfig { return l.cfg }
@@ -147,7 +230,17 @@ func linkDeliver(arg any) { arg.(*linkEvent).deliver() }
 // (congestion loss); otherwise the packet serializes FIFO at the link
 // rate, may be lost to the medium or an outage at the end of
 // serialization, and is delivered to the far node after propagation.
+//
+// Queue-depth metrics and enqueue/dequeue trace records are emitted only
+// for links with a real queue (RateBps > 0): a rate-0 link's depth is
+// identically zero, and keeping those records out of the trace is what
+// lets the lower fidelity tiers (which collapse the serialization hop)
+// stay byte-identical to this path on the obs exports.
 func (l *Link) send(pkt *Packet) {
+	if l.cfg.Fidelity != FidelityFull {
+		l.sendBypass(pkt)
+		return
+	}
 	s := l.net.sched
 	now := s.Now()
 
@@ -170,17 +263,111 @@ func (l *Link) send(pkt *Packet) {
 		if l.queuedBytes > l.stats.QueuedPeak {
 			l.stats.QueuedPeak = l.queuedBytes
 		}
+		if l.obs != nil {
+			l.obs.queueDepth.Observe(int64(l.queuedBytes))
+			l.obs.tr.Emit(now, obs.KindEnqueue, l.obsSubj, int64(l.queuedBytes), int64(pkt.Size))
+		}
 	} else {
 		txDone = now
 	}
 	l.stats.Sent++
 	if l.obs != nil {
 		l.obs.sent.Inc()
-		l.obs.queueDepth.Observe(int64(l.queuedBytes))
-		l.obs.tr.Emit(now, obs.KindEnqueue, l.obsSubj, int64(l.queuedBytes), int64(pkt.Size))
 	}
 
 	s.AtFunc(txDone, linkTxDone, l.net.getLinkEvent(l, pkt))
+}
+
+// sendBypass is the delay-only/fast datapath: one scheduler event instead
+// of the serialization + arrival pair. The queue machinery is skipped
+// outright (sound because auto-selection only picks these tiers when
+// RateBps == 0 and QueueBytes == 0, where the full path would compute
+// txDone == now with zero occupancy), and FidelityFast additionally skips
+// outage, loss and jitter (sound when all three are nil). Everything that
+// remains — drop checks, propagation, the FIFO arrival clamp, stats and
+// obs counters, cross-partition staging — evaluates at the same instant
+// with the same RNG draw order as the full path, which is what the
+// bit-identity suites pin.
+func (l *Link) sendBypass(pkt *Packet) {
+	s := l.net.sched
+	now := s.Now()
+	l.stats.Sent++
+	if l.obs != nil {
+		l.obs.sent.Inc()
+	}
+	if l.cfg.Fidelity == FidelityDelayOnly {
+		if l.cfg.Down != nil && l.cfg.Down(now) {
+			l.stats.DropsDown++
+			l.drop(now, pkt, DropOutage)
+			return
+		}
+		if l.cfg.Loss != nil && l.cfg.Loss.Lost(now) {
+			l.stats.DropsLoss++
+			l.drop(now, pkt, DropMedium)
+			return
+		}
+	}
+	var prop time.Duration
+	if l.cfg.Delay != nil {
+		prop = l.cfg.Delay(now)
+	}
+	if l.cfg.Fidelity == FidelityDelayOnly && l.cfg.Jitter != nil {
+		prop += l.jitterAt(now)
+	}
+	arrival := now.Add(prop)
+	if arrival < l.lastArrival {
+		arrival = l.lastArrival
+	}
+	l.lastArrival = arrival
+	if l.cross != nil {
+		l.stageCross(arrival, pkt)
+		return
+	}
+	s.AtFunc(arrival, linkDeliver, l.net.getLinkEvent(l, pkt))
+}
+
+// jitterAt draws one jitter sample and enforces the LinkConfig.Jitter
+// contract: a negative sample panics at the draw instant, identically on
+// every tier, so closed-form delay math downstream can rely on jitter
+// only ever stretching arrivals forward.
+func (l *Link) jitterAt(at sim.Time) time.Duration {
+	j := l.cfg.Jitter(at)
+	if j < 0 {
+		panic(fmt.Sprintf("netem: link %s: Jitter returned %v at t=%d; the contract requires non-negative jitter", l.name, j, int64(at)))
+	}
+	return j
+}
+
+// LastArrival returns the arrival instant of the latest packet put on
+// the wire — the link's FIFO clamp state. Because the clamp takes the
+// max of raw arrivals, this value is order-independent: it equals the
+// maximum raw arrival over all packets sent so far, which is what lets
+// analytic fast-forwards both test it (would the next packet be
+// clamped?) and maintain it exactly (AccountBypassed).
+func (l *Link) LastArrival() sim.Time { return l.lastArrival }
+
+// AccountBypassed credits n packets that an analytic fast-forward proved
+// this link would have carried and delivered: Sent/Delivered stats and
+// the obs counters advance as if each packet had traversed the link, and
+// the FIFO clamp state absorbs the last credited packet's raw arrival
+// (max-merge — exactly the value full emulation would have left, since
+// lastArrival is the max of raw arrivals in any order). Only meaningful
+// on queue-less tiers — a link with a rate has busyUntil and occupancy
+// state that closed forms upstream don't model, so crediting one is a
+// bug, caught here.
+func (l *Link) AccountBypassed(n uint64, lastArrival sim.Time) {
+	if l.cfg.Fidelity == FidelityFull || l.cfg.RateBps > 0 {
+		panic(fmt.Sprintf("netem: AccountBypassed on %s, which runs the full datapath", l.name))
+	}
+	l.stats.Sent += n
+	l.stats.Delivered += n
+	if lastArrival > l.lastArrival {
+		l.lastArrival = lastArrival
+	}
+	if l.obs != nil {
+		l.obs.sent.Add(n)
+		l.obs.delivered.Add(n)
+	}
 }
 
 // txDone runs at the end of serialization: dequeue, apply outage and
@@ -189,12 +376,12 @@ func (l *Link) send(pkt *Packet) {
 func (ev *linkEvent) txDone() {
 	l, pkt := ev.link, ev.pkt
 	s := l.net.sched
+	at := s.Now()
 	if l.cfg.RateBps > 0 {
 		l.queuedBytes -= pkt.Size
-	}
-	at := s.Now()
-	if l.obs != nil {
-		l.obs.tr.Emit(at, obs.KindDequeue, l.obsSubj, int64(l.queuedBytes), int64(pkt.Size))
+		if l.obs != nil {
+			l.obs.tr.Emit(at, obs.KindDequeue, l.obsSubj, int64(l.queuedBytes), int64(pkt.Size))
+		}
 	}
 	if l.cfg.Down != nil && l.cfg.Down(at) {
 		l.net.putLinkEvent(ev)
@@ -213,7 +400,7 @@ func (ev *linkEvent) txDone() {
 		prop = l.cfg.Delay(at)
 	}
 	if l.cfg.Jitter != nil {
-		prop += l.cfg.Jitter(at)
+		prop += l.jitterAt(at)
 	}
 	arrival := at.Add(prop)
 	// A link is a FIFO pipe: jitter and shrinking path delays must

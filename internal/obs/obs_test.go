@@ -4,8 +4,10 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"reflect"
 	"sort"
 	"testing"
+	"time"
 
 	"starlinkperf/internal/sim"
 )
@@ -305,5 +307,37 @@ func BenchmarkHistogramObserve(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		h.Observe(int64(i) * 1000)
+	}
+}
+
+// TestHistogramObserveN holds the bulk form to its definition — exactly
+// the state n repeated Observes leave, across bucket boundaries and the
+// overflow bucket — and keeps it safe on a nil receiver.
+func TestHistogramObserveN(t *testing.T) {
+	r := NewRegistry()
+	bulk := r.Histogram("bulk", DurationBounds())
+	loop := r.Histogram("loop", DurationBounds())
+	for _, c := range []struct {
+		v int64
+		n uint64
+	}{{int64(time.Millisecond), 5}, {1, 3}, {int64(500 * time.Second), 2}, {0, 4}} {
+		bulk.ObserveN(c.v, c.n)
+		for i := uint64(0); i < c.n; i++ {
+			loop.Observe(c.v)
+		}
+	}
+	bulk.ObserveN(7, 0)
+	if bulk.Total() != loop.Total() || bulk.Sum() != loop.Sum() {
+		t.Errorf("bulk total/sum = %d/%d, looped = %d/%d",
+			bulk.Total(), bulk.Sum(), loop.Total(), loop.Sum())
+	}
+	if !reflect.DeepEqual(bulk.counts, loop.counts) {
+		t.Errorf("bucket counts diverge:\n bulk %v\n loop %v", bulk.counts, loop.counts)
+	}
+
+	var nilH *Histogram
+	nilH.ObserveN(1, 10) // must not panic
+	if nilH.Total() != 0 {
+		t.Error("nil histogram accumulated observations")
 	}
 }

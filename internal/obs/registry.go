@@ -152,6 +152,25 @@ func (h *Histogram) Observe(v int64) {
 	h.counts[len(h.bounds)]++
 }
 
+// ObserveN records n observations of the same value — the bulk form
+// analytic fast-forwards use to credit a batch of identical samples in
+// one call. Equivalent to calling Observe(v) n times. Safe on a nil
+// receiver.
+func (h *Histogram) ObserveN(v int64, n uint64) {
+	if h == nil || n == 0 {
+		return
+	}
+	h.total += n
+	h.sum += v * int64(n)
+	for i, b := range h.bounds {
+		if v <= b {
+			h.counts[i] += n
+			return
+		}
+	}
+	h.counts[len(h.bounds)] += n
+}
+
 // Total returns the number of observations (0 for nil).
 func (h *Histogram) Total() uint64 {
 	if h == nil {

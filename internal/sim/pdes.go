@@ -168,6 +168,18 @@ func (d *PartitionedDriver) Events() uint64 {
 	return n
 }
 
+// EventsSkipped returns the total number of events scenario-level
+// fast-forwards credited via Scheduler.CreditSkipped across all
+// partitions: emulation work the closed forms displaced. Deterministic
+// for a given scenario, like Events.
+func (d *PartitionedDriver) EventsSkipped() uint64 {
+	var n uint64
+	for _, p := range d.parts {
+		n += p.sched.Skipped
+	}
+	return n
+}
+
 // Connect creates a cross edge from partition src to partition dst with
 // the given lookahead. A conservative engine is only sound when every
 // cross edge has strictly positive lookahead — a zero-lookahead edge

@@ -104,6 +104,11 @@ type Scheduler struct {
 	// Processed counts events executed since construction; useful for
 	// progress accounting and runaway detection in tests.
 	Processed uint64
+	// Skipped counts events a scenario-level analytic fast-forward
+	// advanced in closed form instead of scheduling (see CreditSkipped).
+	// Purely informational: Processed + Skipped is the work a full
+	// emulation of the same scenario would have executed.
+	Skipped uint64
 }
 
 // heapArity is the fan-out of the scheduler heap. 4 children per node
@@ -378,6 +383,14 @@ func (s *Scheduler) NextEventTime() (Time, bool) {
 	}
 	return 0, false
 }
+
+// CreditSkipped records that a scenario-level fast-forward advanced n
+// would-have-been events in closed form instead of scheduling them. The
+// scheduler takes no action — the caller already applied the events'
+// net effect — it only keeps the ledger so engine introspection
+// (Processed vs Skipped, PartitionedDriver.EventsSkipped) can report how
+// much emulation the closed forms displaced.
+func (s *Scheduler) CreditSkipped(n uint64) { s.Skipped += n }
 
 // --- typed 4-ary min-heap ----------------------------------------------
 

@@ -32,6 +32,24 @@ func (d *FixedDist) Observe(v float64) {
 	d.n++
 }
 
+// ObserveN records n observations of the same value, bucketing exactly
+// as n Observe(v) calls would — the bulk form the fleet fast-forward
+// uses to credit a probe train's identical RTTs in one call.
+func (d *FixedDist) ObserveN(v float64, n int64) {
+	if n <= 0 {
+		return
+	}
+	i := int(v / d.width)
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(d.counts) {
+		i = len(d.counts) - 1
+	}
+	d.counts[i] += n
+	d.n += n
+}
+
 // N returns the observation count.
 func (d *FixedDist) N() int64 { return d.n }
 

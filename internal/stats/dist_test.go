@@ -51,3 +51,90 @@ func TestFixedDistOrderInvariance(t *testing.T) {
 		}
 	}
 }
+
+// TestFixedDistMergeEdgeCases pins Merge on the degenerate shapes the
+// per-partition fold actually produces: merging an empty distribution is
+// the identity, a single sample transfers exactly, and disjoint
+// distributions concatenate their counts without disturbing either
+// side's quantiles.
+func TestFixedDistMergeEdgeCases(t *testing.T) {
+	// Empty into empty: still empty, quantiles stay 0.
+	a := NewFixedDist(1, 10)
+	b := NewFixedDist(1, 10)
+	a.Merge(&b)
+	if a.N() != 0 || a.Quantile(0.5) != 0 {
+		t.Errorf("empty merge: n=%d p50=%v, want 0/0", a.N(), a.Quantile(0.5))
+	}
+
+	// Single sample through a merge chain: every quantile is its bucket.
+	one := NewFixedDist(1, 10)
+	one.Observe(3.2)
+	a.Merge(&one)
+	if a.N() != 1 {
+		t.Fatalf("n = %d after single-sample merge, want 1", a.N())
+	}
+	for _, q := range []float64{0.001, 0.5, 1} {
+		if got := a.Quantile(q); got != 3.5 {
+			t.Errorf("single sample q=%v = %v, want 3.5", q, got)
+		}
+	}
+	// Merging an empty distribution into a populated one is the identity.
+	a.Merge(&b)
+	if a.N() != 1 || a.Quantile(0.5) != 3.5 {
+		t.Errorf("identity merge changed the distribution: n=%d p50=%v", a.N(), a.Quantile(0.5))
+	}
+
+	// Disjoint supports: low holds buckets [0,2), high holds [8,10); the
+	// merged median sits at the low side's top and p100 at the high end.
+	low, high := NewFixedDist(1, 10), NewFixedDist(1, 10)
+	for i := 0; i < 3; i++ {
+		low.Observe(1.5)
+		high.Observe(8.5)
+	}
+	low.Merge(&high)
+	if low.N() != 6 {
+		t.Fatalf("n = %d, want 6", low.N())
+	}
+	if got := low.Quantile(0.5); got != 1.5 {
+		t.Errorf("disjoint merge p50 = %v, want 1.5", got)
+	}
+	if got := low.Quantile(1); got != 8.5 {
+		t.Errorf("disjoint merge p100 = %v, want 8.5", got)
+	}
+
+	// Geometry mismatches are bugs, not silent corruption.
+	other := NewFixedDist(2, 10)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("merging mismatched geometry did not panic")
+		}
+	}()
+	low.Merge(&other)
+}
+
+// TestFixedDistObserveN holds the bulk form to its definition: ObserveN
+// must leave exactly the state of n repeated Observes — including the
+// edge-bucket clamping — and ignore non-positive counts.
+func TestFixedDistObserveN(t *testing.T) {
+	bulk := NewFixedDist(0.5, 20)
+	loop := NewFixedDist(0.5, 20)
+	for _, c := range []struct {
+		v float64
+		n int64
+	}{{3.3, 7}, {-2, 4}, {999, 2}, {0, 1}} {
+		bulk.ObserveN(c.v, c.n)
+		for i := int64(0); i < c.n; i++ {
+			loop.Observe(c.v)
+		}
+	}
+	bulk.ObserveN(5, 0)
+	bulk.ObserveN(5, -3)
+	if bulk.N() != loop.N() {
+		t.Fatalf("n = %d, want %d", bulk.N(), loop.N())
+	}
+	for _, q := range []float64{0.01, 0.25, 0.5, 0.75, 0.99, 1} {
+		if bulk.Quantile(q) != loop.Quantile(q) {
+			t.Errorf("q=%v: bulk %v != looped %v", q, bulk.Quantile(q), loop.Quantile(q))
+		}
+	}
+}
