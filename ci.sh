@@ -64,6 +64,28 @@ cmp "$ci_tmp/metrics1.json" "$ci_tmp/metrics3.json"
 cmp "$ci_tmp/figures1.txt" "$ci_tmp/figures2.txt"
 cmp "$ci_tmp/figures1.txt" "$ci_tmp/figures3.txt"
 
+echo "== transport paper-profile identity (-transport paper vs default, byte-diffed)"
+# Explicitly selecting the paper transport profile must be a no-op: the
+# profile plumbing touches every endpoint configuration (QUIC and TCP),
+# so the figures must come out byte-identical to runs 1 and 3 above,
+# at both worker counts. (The modern profile's own determinism is pinned
+# by TestTransportModernWorkerInvariance and TestBBRDeterminism in the
+# -race suite above, and the paper-vs-modern delta section rides the
+# bench.json smoke through -validate.)
+go run ./cmd/starlink-bench -quick -workers 1 -scenario.workers 1 -transport paper \
+    >"$ci_tmp/figures_paper1.txt"
+go run ./cmd/starlink-bench -quick -workers 8 -scenario.workers 8 -transport paper \
+    >"$ci_tmp/figures_paper8.txt"
+cmp "$ci_tmp/figures1.txt" "$ci_tmp/figures_paper1.txt"
+cmp "$ci_tmp/figures1.txt" "$ci_tmp/figures_paper8.txt"
+
+echo "== modern-transport determinism under the race detector"
+# BBR + pacing + 0-RTT must stay a pure function of (config, seed):
+# bit-identical across worker counts, stable across repeat runs, and
+# free of data races in the sharded campaign runner.
+go test -race ./internal/cc -run 'TestBBRDeterminism' -count=1
+go test -race ./internal/core -run 'TestTransportModernWorkerInvariance' -count=1
+
 echo "== fidelity equivalence (full emulation vs tiers + fast-forward, byte-diffed)"
 # Runs 1-3 above use the default -fidelity auto (link tiers + analytic
 # fast-forward). This run forces the complete reference datapath under

@@ -37,6 +37,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	pcapPath := fs.String("pcap", "", "write the receiver capture of the first transfer to this pcap file")
 	seed := fs.Uint64("seed", 1, "simulation seed")
 	workers := fs.Int("workers", 0, "parallel campaign workers (0 = GOMAXPROCS)")
+	transport := fs.String("transport", "paper", "transport profile: paper | modern | toggle list (bbr,pacing,zerortt,migration,minrtt,idledecay)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -47,6 +48,11 @@ func run(args []string, stdout, stderr io.Writer) error {
 	download := *dir == "down"
 	cfg := core.DefaultConfig()
 	cfg.Seed = *seed
+	profile, err := core.ParseTransport(*transport)
+	if err != nil {
+		return err
+	}
+	cfg.Transport = profile
 	opts := core.Options{Workers: *workers, Seed: *seed}
 	var out strings.Builder
 
@@ -84,7 +90,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	default:
 		return fmt.Errorf("unknown mode %q", *mode)
 	}
-	_, err := io.WriteString(stdout, out.String())
+	_, err = io.WriteString(stdout, out.String())
 	return err
 }
 

@@ -33,6 +33,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	conns := fs.Int("conns", 4, "parallel TCP connections")
 	seed := fs.Uint64("seed", 1, "simulation seed")
 	workers := fs.Int("workers", 0, "parallel campaign workers (0 = GOMAXPROCS)")
+	transport := fs.String("transport", "paper", "transport profile: paper | modern | toggle list (bbr,pacing,zerortt,migration,minrtt,idledecay)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -46,6 +47,11 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 	cfg := core.DefaultConfig()
 	cfg.Seed = *seed
+	profile, err := core.ParseTransport(*transport)
+	if err != nil {
+		return err
+	}
+	cfg.Transport = profile
 
 	node := map[core.Tech]string{core.TechStarlink: "pc-starlink", core.TechSatCom: "pc-satcom", core.TechWired: "pc-wired"}[tech]
 	fmt.Fprintf(stdout, "speedtest from %s (%d tests, %d connections):\n", node, *count, *conns)
@@ -66,7 +72,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 	d, u := stats.Summarize(down), stats.Summarize(up)
 	fmt.Fprintf(stdout, "download: med=%.1f p25=%.1f p75=%.1f max=%.1f Mbit/s\n", d.P50, d.P25, d.P75, d.Max)
-	_, err := fmt.Fprintf(stdout, "upload:   med=%.1f p25=%.1f p75=%.1f max=%.1f Mbit/s\n", u.P50, u.P25, u.P75, u.Max)
+	_, err = fmt.Fprintf(stdout, "upload:   med=%.1f p25=%.1f p75=%.1f max=%.1f Mbit/s\n", u.P50, u.P25, u.P75, u.Max)
 	return err
 }
 
@@ -83,11 +89,12 @@ func parseTech(s string) (core.Tech, bool) {
 }
 
 // runCustomConns drives measure directly for a non-default connection
-// count, sequentially on one testbed.
+// count, sequentially on one testbed. The testbed's SpeedtestConfig
+// carries the transport profile overlay.
 func runCustomConns(tb *core.Testbed, tech core.Tech, n int, gap time.Duration, conns int) []measure.SpeedtestResult {
 	var out []measure.SpeedtestResult
 	prober := measure.NewProber(vantageNode(tb, tech))
-	cfg := measure.DefaultSpeedtestConfig()
+	cfg := tb.SpeedtestConfig()
 	cfg.Connections = conns
 	var runOne func(i int)
 	runOne = func(i int) {

@@ -94,6 +94,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	workers := fs.Int("workers", 0, "parallel campaign workers (0 = GOMAXPROCS)")
 	scenarioWorkers := fs.Int("scenario.workers", 0, "PDES workers inside the fleet traffic scenario (0 = GOMAXPROCS); never changes results")
 	fidelity := fs.String("fidelity", "auto", "fleet traffic emulation fidelity: auto (tiers + fast-forward), tiers, or full; never changes results, only wall clock")
+	transport := fs.String("transport", "paper", "transport profile for the campaigns: paper | modern | toggle list (bbr,pacing,zerortt,migration,minrtt,idledecay)")
 	quick := fs.Bool("quick", false, "tiny smoke-sized campaigns for CI (ignores -scale)")
 	benchJSON := fs.String("bench.json", "", "write headline metrics as JSON to this file")
 	tracePath := fs.String("trace", "", "write the event trace here (.jsonl extension selects JSON Lines, anything else the OTR1 binary format)")
@@ -144,6 +145,11 @@ func run(args []string, stdout, stderr io.Writer) error {
 
 	cfg := core.DefaultConfig()
 	cfg.Seed = *seed
+	profile, err := core.ParseTransport(*transport)
+	if err != nil {
+		return err
+	}
+	cfg.Transport = profile
 	// Table 1 + Figures 1-2 use one long latency campaign with the
 	// paper's scenario events.
 	latCfg := cfg
@@ -259,11 +265,14 @@ func run(args []string, stdout, stderr io.Writer) error {
 	// process state keeps that bias out of the overhead measurement.
 	var pdesRep pdesReport
 	var fidelityRep fidelityReport
+	var transportRep transportReport
 	if *benchJSON != "" {
 		fmt.Fprintf(stderr, "pdes microbench: reference + 1/2/4/8-worker sweep...\n")
 		pdesRep = pdesMicrobench(*quick, *seed)
 		fmt.Fprintf(stderr, "fidelity microbench: full vs tiers vs tiers+fast-forward...\n")
 		fidelityRep = fidelityMicrobench(*quick, *seed)
+		fmt.Fprintf(stderr, "transport microbench: paper vs modern profiles...\n")
+		transportRep = transportMicrobench(*quick, *seed)
 	}
 	fmt.Fprintf(stderr, "running %d campaigns on %d workers...\n", len(jobs), nw)
 	started := time.Now()
@@ -358,8 +367,10 @@ func run(args []string, stdout, stderr io.Writer) error {
 		rep.Fleet = makeFleetReport(fleetRes, *quick)
 		rep.Pdes = pdesRep
 		rep.Fidelity = fidelityRep
+		rep.Transport = transportRep
 		renderPdes(stdout, rep.Pdes)
 		renderFidelity(stdout, rep.Fidelity)
+		renderTransport(stdout, rep.Transport)
 		rep.Obs = collector.Snapshot()
 		blob, err := json.MarshalIndent(rep, "", "  ")
 		if err != nil {
@@ -413,6 +424,7 @@ type benchReport struct {
 	Fleet      fleetReport        `json:"fleet"`
 	Pdes       pdesReport         `json:"pdes"`
 	Fidelity   fidelityReport     `json:"fidelity"`
+	Transport  transportReport    `json:"transport"`
 }
 
 const benchSchema = "starlink-bench/v1"
@@ -810,5 +822,8 @@ func validateBenchJSON(path string) error {
 	if err := validatePdesReport(rep.Pdes); err != nil {
 		return err
 	}
-	return validateFidelityReport(rep.Fidelity)
+	if err := validateFidelityReport(rep.Fidelity); err != nil {
+		return err
+	}
+	return validateTransportReport(rep.Transport)
 }

@@ -161,6 +161,14 @@ func TestValidateBenchJSON(t *testing.T) {
 			EventsSkipped: 370000, FastForwarded: 54000,
 			SpeedupTiers: 1.38, SpeedupTotal: 4.0, ResultsMatch: true,
 		},
+		Transport: transportReport{
+			PaperName: "paper", ModernName: "modern",
+			MsgUpP50PaperMs: 62, MsgUpP95PaperMs: 110,
+			MsgUpP50ModernMs: 58, MsgUpP95ModernMs: 95,
+			H3DownPaperMbps: 110, H3DownModernMbps: 120,
+			MsgUpLossPaperPct: 0.4, MsgUpLossModernPct: 0.3,
+			PaperIdentical: true, ModernDiffers: true,
+		},
 	}
 	write := func(t *testing.T, rep benchReport) string {
 		t.Helper()
@@ -226,6 +234,10 @@ func TestValidateBenchJSON(t *testing.T) {
 		"fidelity ff absorbed nothing": func(r *benchReport) {
 			r.Fidelity.FastForwarded, r.Fidelity.EventsSkipped = 0, 0
 		},
+		"no transport":             func(r *benchReport) { r.Transport = transportReport{} },
+		"transport paper diverged": func(r *benchReport) { r.Transport.PaperIdentical = false },
+		"transport modern no-op":   func(r *benchReport) { r.Transport.ModernDiffers = false },
+		"transport incomplete":     func(r *benchReport) { r.Transport.H3DownModernMbps = 0 },
 	}
 	for name, mutate := range broken {
 		rep := valid

@@ -1,0 +1,118 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"reflect"
+	"time"
+
+	"starlinkperf/internal/core"
+	"starlinkperf/internal/stats"
+)
+
+// transportReport is the bench.json section for the transport profiles:
+// the same message and H3 campaigns run once under the paper profile and
+// once under the modern stack (BBR + pacing + 0-RTT + migration), so the
+// trajectory records what the post-paper transport buys on the emulated
+// Starlink path. Two boolean gates ride along: the paper profile must be
+// bit-identical to the default configuration (the profile plumbing is a
+// no-op when every toggle is off), and the modern profile must actually
+// change the output (the plumbing reaches the endpoints).
+type transportReport struct {
+	PaperName  string `json:"paper_name"`
+	ModernName string `json:"modern_name"`
+	// Message-session upload RTTs (the paper's 25 msg/s workload), most
+	// sensitive to pacing and congestion-controller choice.
+	MsgUpP50PaperMs  float64 `json:"msg_up_p50_paper_ms"`
+	MsgUpP95PaperMs  float64 `json:"msg_up_p95_paper_ms"`
+	MsgUpP50ModernMs float64 `json:"msg_up_p50_modern_ms"`
+	MsgUpP95ModernMs float64 `json:"msg_up_p95_modern_ms"`
+	// Bulk H3 download goodput under each stack.
+	H3DownPaperMbps  float64 `json:"h3_down_paper_mbps"`
+	H3DownModernMbps float64 `json:"h3_down_modern_mbps"`
+	// Loss ratios for the message sessions (percent).
+	MsgUpLossPaperPct  float64 `json:"msg_up_loss_paper_pct"`
+	MsgUpLossModernPct float64 `json:"msg_up_loss_modern_pct"`
+	// PaperIdentical is true iff the paper profile's message campaign was
+	// bit-identical to the default (zero-value) configuration's.
+	PaperIdentical bool `json:"paper_identical"`
+	// ModernDiffers is true iff the modern profile produced a different
+	// RTT series than paper — a false means the profile never reached the
+	// transport endpoints.
+	ModernDiffers bool `json:"modern_differs"`
+}
+
+// transportMicrobench runs the paper-vs-modern comparison on single-worker
+// campaigns (worker invariance is pinned separately by the core tests and
+// ci.sh's -race gate; here one worker keeps the section cheap).
+func transportMicrobench(quick bool, seed uint64) transportReport {
+	sessions, dur := 2, time.Minute
+	h3n, h3size := 2, 20<<20
+	if quick {
+		sessions, dur = 1, 30*time.Second
+		h3n, h3size = 1, 5<<20
+	}
+	opts := core.Options{Workers: 1, Seed: seed}
+
+	base := core.DefaultConfig()
+	base.Seed = seed
+	paperCfg := base
+	paperCfg.Transport = core.PaperTransport()
+	modernCfg := base
+	modernCfg.Transport = core.ModernTransport()
+
+	defMsg := core.RunMessagesCampaignParallel(base, sessions, dur, false, opts)
+	paperMsg := core.RunMessagesCampaignParallel(paperCfg, sessions, dur, false, opts)
+	modernMsg := core.RunMessagesCampaignParallel(modernCfg, sessions, dur, false, opts)
+	paperH3 := core.RunH3CampaignParallel(paperCfg, h3n, h3size, true, 15*time.Second, opts)
+	modernH3 := core.RunH3CampaignParallel(modernCfg, h3n, h3size, true, 15*time.Second, opts)
+
+	pr := stats.Summarize(paperMsg.RTTsMs)
+	mr := stats.Summarize(modernMsg.RTTsMs)
+	return transportReport{
+		PaperName:          paperCfg.Transport.Name,
+		ModernName:         modernCfg.Transport.Name,
+		MsgUpP50PaperMs:    pr.P50,
+		MsgUpP95PaperMs:    pr.P95,
+		MsgUpP50ModernMs:   mr.P50,
+		MsgUpP95ModernMs:   mr.P95,
+		H3DownPaperMbps:    stats.Summarize(paperH3.Goodputs()).P50,
+		H3DownModernMbps:   stats.Summarize(modernH3.Goodputs()).P50,
+		MsgUpLossPaperPct:  100 * paperMsg.LossRatio(),
+		MsgUpLossModernPct: 100 * modernMsg.LossRatio(),
+		PaperIdentical:     reflect.DeepEqual(defMsg.RTTsMs, paperMsg.RTTsMs),
+		ModernDiffers:      !reflect.DeepEqual(paperMsg.RTTsMs, modernMsg.RTTsMs),
+	}
+}
+
+// renderTransport prints the paper-vs-modern table for the human-readable
+// report.
+func renderTransport(w io.Writer, rep transportReport) {
+	fmt.Fprintf(w, "\n=== transport profiles: %s vs %s ===\n", rep.PaperName, rep.ModernName)
+	fmt.Fprintf(w, "%-26s %10s %10s\n", "metric", rep.PaperName, rep.ModernName)
+	fmt.Fprintf(w, "%-26s %10.1f %10.1f\n", "msg up RTT p50 (ms)", rep.MsgUpP50PaperMs, rep.MsgUpP50ModernMs)
+	fmt.Fprintf(w, "%-26s %10.1f %10.1f\n", "msg up RTT p95 (ms)", rep.MsgUpP95PaperMs, rep.MsgUpP95ModernMs)
+	fmt.Fprintf(w, "%-26s %10.1f %10.1f\n", "H3 down goodput (Mbit/s)", rep.H3DownPaperMbps, rep.H3DownModernMbps)
+	fmt.Fprintf(w, "%-26s %10.2f %10.2f\n", "msg up loss (%)", rep.MsgUpLossPaperPct, rep.MsgUpLossModernPct)
+	fmt.Fprintf(w, "paper identical to default: %v; modern changes output: %v\n",
+		rep.PaperIdentical, rep.ModernDiffers)
+}
+
+// validateTransportReport gates the profile plumbing's two invariants and
+// the section's completeness.
+func validateTransportReport(rep transportReport) error {
+	if rep.PaperName == "" || rep.ModernName == "" {
+		return fmt.Errorf("transport section missing")
+	}
+	if !rep.PaperIdentical {
+		return fmt.Errorf("transport paper_identical = false: the paper profile diverged from the default configuration")
+	}
+	if !rep.ModernDiffers {
+		return fmt.Errorf("transport modern_differs = false: the modern profile never reached the endpoints")
+	}
+	if rep.MsgUpP50PaperMs <= 0 || rep.MsgUpP50ModernMs <= 0 ||
+		rep.H3DownPaperMbps <= 0 || rep.H3DownModernMbps <= 0 {
+		return fmt.Errorf("transport section incomplete: %+v", rep)
+	}
+	return nil
+}

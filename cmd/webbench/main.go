@@ -30,6 +30,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	seed := fs.Uint64("seed", 1, "simulation seed")
 	verbose := fs.Bool("v", false, "print per-visit rows")
 	workers := fs.Int("workers", 0, "parallel campaign workers (0 = GOMAXPROCS)")
+	transport := fs.String("transport", "paper", "transport profile: paper | modern | toggle list (bbr,pacing,zerortt,migration,minrtt,idledecay)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -51,6 +52,11 @@ func run(args []string, stdout, stderr io.Writer) error {
 
 	cfg := core.DefaultConfig()
 	cfg.Seed = *seed
+	profile, err := core.ParseTransport(*transport)
+	if err != nil {
+		return err
+	}
+	cfg.Transport = profile
 	opts := core.Options{Workers: *workers, Seed: *seed}
 	results := core.RunWebCampaignParallel(cfg, tech, *visits, 2*time.Second, opts)
 
@@ -75,6 +81,6 @@ func run(args []string, stdout, stderr io.Writer) error {
 	fmt.Fprintf(stdout, "%s: %d visits (%d failed)\n", *techName, len(results), fails)
 	fmt.Fprintf(stdout, "  onLoad:     med=%.2fs IQR=[%.2f, %.2f]s\n", o.P50, o.P25, o.P75)
 	fmt.Fprintf(stdout, "  SpeedIndex: med=%.2fs IQR=[%.2f, %.2f]s\n", s.P50, s.P25, s.P75)
-	_, err := fmt.Fprintf(stdout, "  conn setup: mean=%.0fms med=%.0fms (n=%d)\n", st.Mean, st.P50, st.N)
+	_, err = fmt.Fprintf(stdout, "  conn setup: mean=%.0fms med=%.0fms (n=%d)\n", st.Mean, st.P50, st.N)
 	return err
 }

@@ -29,6 +29,13 @@ type CongestionController interface {
 	Name() string
 }
 
+// PacingRater is implemented by controllers that own their pacing rate
+// (BBR): the pacer consults it instead of deriving a rate from cwnd/SRTT.
+// The rate is in bytes per second.
+type PacingRater interface {
+	PacingRate(rtt *RTTEstimator) float64
+}
+
 // Default CUBIC constants (RFC 8312), matching quiche.
 const (
 	cubicC    = 0.4
@@ -63,6 +70,17 @@ type Cubic struct {
 	hsRoundBytes   int
 	hsRoundMin     time.Duration
 	hsRoundSamples int
+
+	// IdleDecay enables RFC 7661-style congestion window validation: a
+	// flow that idles (no sends, no acks) through an outage halves its
+	// window per idle RTO instead of bursting the stale pre-outage cwnd
+	// into the freshly restored link. Off by default — the paper's
+	// quiche build had no CWV, and the reproduction profile keeps its
+	// post-idle line-rate burst.
+	IdleDecay   bool
+	lastActive  sim.Time
+	activeValid bool
+	idleSRTT    time.Duration
 }
 
 // NewCubic returns a CUBIC controller with the standard initial window
@@ -87,11 +105,58 @@ func (c *Cubic) InSlowStart() bool { return c.cwnd < c.ssthresh }
 // DebugSSThresh exposes ssthresh for calibration tooling.
 func (c *Cubic) DebugSSThresh() int { return c.ssthresh }
 
-// OnPacketSent implements CongestionController.
-func (c *Cubic) OnPacketSent(sim.Time, int) {}
+// OnPacketSent implements CongestionController. With IdleDecay enabled it
+// is also the idle detector: the first send after an idle period longer
+// than the restart timeout decays the window before any data leaves.
+func (c *Cubic) OnPacketSent(now sim.Time, _ int) {
+	if !c.IdleDecay {
+		return
+	}
+	if c.activeValid {
+		c.decayAfterIdle(now.Sub(c.lastActive))
+	}
+	c.lastActive = now
+	c.activeValid = true
+}
+
+// decayAfterIdle applies RFC 7661 semantics, simplified to this
+// simulator's controller granularity: per full restart timeout of idle
+// the window halves toward the initial window, ssthresh is raised so the
+// flow can ramp back in slow start, and the cubic epoch restarts so the
+// next congestion-avoidance phase grows from the decayed point instead of
+// the stale pre-idle curve.
+func (c *Cubic) decayAfterIdle(idle time.Duration) {
+	rto := 2 * c.idleSRTT
+	if rto < 200*time.Millisecond {
+		rto = 200 * time.Millisecond
+	}
+	if idle < rto {
+		return
+	}
+	floor := InitialWindowPackets * c.mss
+	if c.cwnd <= floor {
+		return
+	}
+	if half := c.cwnd * 3 / 4; c.ssthresh < half {
+		c.ssthresh = half
+	}
+	for ; idle >= rto && c.cwnd > floor; idle -= rto {
+		c.cwnd /= 2
+	}
+	if c.cwnd < floor {
+		c.cwnd = floor
+	}
+	c.haveEpoch = false
+	c.hsRoundBytes, c.hsRoundSamples, c.hsRoundMin = 0, 0, 0
+}
 
 // OnPacketAcked implements CongestionController.
 func (c *Cubic) OnPacketAcked(now sim.Time, bytes int, rtt *RTTEstimator) {
+	if c.IdleDecay {
+		c.lastActive = now
+		c.activeValid = true
+		c.idleSRTT = rtt.Smoothed()
+	}
 	if c.inRecovery {
 		// Still draining the episode: window frozen until a packet sent
 		// after the recovery point is acked, which the connection
@@ -276,19 +341,41 @@ func (n *NewReno) OnCongestionEvent(now sim.Time, sentAt sim.Time) {
 	n.ssthresh = n.cwnd
 }
 
-// Pacer schedules packet departures at a multiple of cwnd/RTT when
-// enabled. quiche at the paper's commit did not pace, which the paper
-// identifies as the cause of the elevated upload RTTs for 25 kB messages
-// — so pacing defaults to off and exists for the ablation bench.
+// DefaultBurstPackets is the pacer's default max-burst allowance: after
+// an idle period at most this many packet-sized grants leave back to
+// back before spacing resumes (Linux fq and quiche use ~10 too).
+const DefaultBurstPackets = 10
+
+// Pacer schedules packet departures at the pacing rate when enabled.
+// quiche at the paper's commit did not pace, which the paper identifies
+// as the cause of the elevated upload RTTs for 25 kB messages — so pacing
+// defaults to off and exists for the modern transport profile and the
+// ablation bench.
+//
+// The implementation is a token bucket holding at most BurstPackets
+// packets' worth of bytes: tokens refill at the pacing rate, a grant
+// consumes the packet's size, and a deferred packet consumes nothing — so
+// retrying after the returned delay is charged exactly once. (The
+// previous arrival-spacing implementation advanced its departure clock on
+// every call, double-charging packets the caller deferred and re-offered,
+// which paced deferred flows at half the configured rate.)
 type Pacer struct {
 	Enabled bool
-	// Gain scales the pacing rate; 1.25 is the common choice.
-	Gain     float64
-	nextSend sim.Time
+	// Gain scales the cwnd/SRTT-derived pacing rate; 1.25 is the common
+	// choice. Ignored when the controller provides its own rate.
+	Gain float64
+	// BurstPackets caps the bucket depth — the number of back-to-back
+	// full-size departures allowed after idle (and right after
+	// slow-start-exit cwnd spurts). Zero means DefaultBurstPackets.
+	BurstPackets int
+
+	tokens     float64 // bytes available for immediate departure
+	lastRefill sim.Time
+	primed     bool
 }
 
 // Delay returns how long after now the next packet of the given size may
-// leave, given the current window and RTT estimate.
+// leave, pacing at Gain × cwnd/SRTT.
 func (p *Pacer) Delay(now sim.Time, size, cwnd int, rtt *RTTEstimator) time.Duration {
 	if !p.Enabled {
 		return 0
@@ -301,14 +388,58 @@ func (p *Pacer) Delay(now sim.Time, size, cwnd int, rtt *RTTEstimator) time.Dura
 	if gain <= 0 {
 		gain = 1.25
 	}
-	rate := gain * float64(cwnd) / srtt.Seconds() // bytes/s
-	interval := time.Duration(float64(size) / rate * float64(time.Second))
-	if p.nextSend < now {
-		p.nextSend = now
+	return p.DelayRate(now, size, gain*float64(cwnd)/srtt.Seconds())
+}
+
+// DelayFor is the profile-aware entry point shared by the QUIC and TCP
+// send paths: controllers that own a pacing rate (BBR) are consulted via
+// PacingRater, everything else paces at Gain × cwnd/SRTT.
+func (p *Pacer) DelayFor(now sim.Time, size int, ctl CongestionController, rtt *RTTEstimator) time.Duration {
+	if !p.Enabled {
+		return 0
 	}
-	wait := p.nextSend.Sub(now)
-	p.nextSend = p.nextSend.Add(interval)
-	return wait
+	if pr, ok := ctl.(PacingRater); ok {
+		return p.DelayRate(now, size, pr.PacingRate(rtt))
+	}
+	return p.Delay(now, size, ctl.Window(), rtt)
+}
+
+// DelayRate returns how long after now the next packet of the given size
+// may leave at an explicit rate in bytes per second. A zero return grants
+// the departure (and consumes its tokens); a positive return defers it
+// without consuming anything.
+func (p *Pacer) DelayRate(now sim.Time, size int, rate float64) time.Duration {
+	if !p.Enabled || rate <= 0 || size <= 0 {
+		return 0
+	}
+	burst := p.BurstPackets
+	if burst <= 0 {
+		burst = DefaultBurstPackets
+	}
+	depth := float64(burst * size)
+	if !p.primed {
+		p.primed = true
+		p.tokens = depth
+		p.lastRefill = now
+	} else if now > p.lastRefill {
+		p.tokens += now.Sub(p.lastRefill).Seconds() * rate
+		p.lastRefill = now
+	}
+	if p.tokens > depth {
+		p.tokens = depth
+	}
+	// The grant comparison tolerates a nanobyte of float error and the
+	// deferral rounds up to whole nanoseconds, so a caller that waits
+	// exactly the returned delay is always granted on retry instead of
+	// spinning on a sub-nanosecond deficit.
+	if p.tokens >= float64(size)-1e-6 {
+		p.tokens -= float64(size)
+		if p.tokens < 0 {
+			p.tokens = 0
+		}
+		return 0
+	}
+	return time.Duration(math.Ceil((float64(size) - p.tokens) / rate * float64(time.Second)))
 }
 
 // Fixed is a constant-window controller used by satellite PEPs on the

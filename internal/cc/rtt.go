@@ -1,26 +1,63 @@
 package cc
 
-import "time"
+import (
+	"time"
+
+	"starlinkperf/internal/sim"
+)
 
 // RTTEstimator maintains the RFC 9002 §5 round-trip time state.
+//
+// The minimum filter has two modes. With MinWindow == 0 (the default, and
+// what the paper-reproduction profile uses) the minimum is all-time, which
+// is what the seed shipped. With MinWindow > 0 the minimum is taken over a
+// sliding window of simulated time, so a handover that permanently raises
+// the path RTT stops poisoning Hystart exits and BBR's ProbeRTT once the
+// pre-handover samples age out. Windowed callers must feed samples through
+// UpdateAt (Update has no clock and keeps every sample forever).
 type RTTEstimator struct {
 	latest   time.Duration
 	min      time.Duration
 	smoothed time.Duration
 	variance time.Duration
 	samples  int
+
+	// MinWindow, when positive, bounds how long a min-RTT sample is
+	// trusted: Min returns the minimum over the last MinWindow of sim
+	// time (as of the latest UpdateAt) instead of the all-time minimum.
+	MinWindow time.Duration
+	// minQ is the monotonic deque backing the windowed minimum: entries
+	// ascend in both timestamp and value, so the front is the windowed
+	// minimum and each sample is pushed/popped at most once.
+	minQ []minSample
+}
+
+type minSample struct {
+	at  sim.Time
+	rtt time.Duration
 }
 
 // InitialRTT is the pre-handshake RTT assumption (RFC 9002 §6.2.2).
 const InitialRTT = 333 * time.Millisecond
 
 // Update folds an RTT sample in, subtracting ackDelay per RFC 9002 §5.3
-// when it does not underrun the minimum.
+// when it does not underrun the minimum. It is the clockless form of
+// UpdateAt and only maintains the all-time minimum; estimators with
+// MinWindow set must use UpdateAt.
 func (r *RTTEstimator) Update(sample, ackDelay time.Duration) {
+	r.UpdateAt(0, sample, ackDelay)
+}
+
+// UpdateAt folds an RTT sample observed at sim-time now. With MinWindow
+// == 0 it is byte-for-byte equivalent to Update.
+func (r *RTTEstimator) UpdateAt(now sim.Time, sample, ackDelay time.Duration) {
 	if sample <= 0 {
 		return
 	}
 	r.latest = sample
+	if r.MinWindow > 0 {
+		r.foldMin(now, sample)
+	}
 	if r.samples == 0 {
 		r.min = sample
 		r.smoothed = sample
@@ -33,7 +70,7 @@ func (r *RTTEstimator) Update(sample, ackDelay time.Duration) {
 		r.min = sample
 	}
 	adjusted := sample
-	if adjusted-ackDelay >= r.min {
+	if adjusted-ackDelay >= r.Min() {
 		adjusted -= ackDelay
 	}
 	d := r.smoothed - adjusted
@@ -44,11 +81,35 @@ func (r *RTTEstimator) Update(sample, ackDelay time.Duration) {
 	r.smoothed = (7*r.smoothed + adjusted) / 8
 }
 
+// foldMin maintains the windowed-min deque: expire entries older than the
+// window, drop entries the new sample dominates, append.
+func (r *RTTEstimator) foldMin(now sim.Time, sample time.Duration) {
+	cutoff := now.Add(-r.MinWindow)
+	drop := 0
+	for drop < len(r.minQ) && r.minQ[drop].at < cutoff {
+		drop++
+	}
+	if drop > 0 {
+		r.minQ = r.minQ[:copy(r.minQ, r.minQ[drop:])]
+	}
+	for len(r.minQ) > 0 && r.minQ[len(r.minQ)-1].rtt >= sample {
+		r.minQ = r.minQ[:len(r.minQ)-1]
+	}
+	r.minQ = append(r.minQ, minSample{at: now, rtt: sample})
+}
+
 // Latest returns the most recent sample.
 func (r *RTTEstimator) Latest() time.Duration { return r.latest }
 
-// Min returns the minimum observed RTT.
-func (r *RTTEstimator) Min() time.Duration { return r.min }
+// Min returns the minimum observed RTT: all-time when MinWindow == 0,
+// otherwise the minimum over the trailing MinWindow of sim time as of the
+// latest UpdateAt.
+func (r *RTTEstimator) Min() time.Duration {
+	if r.MinWindow > 0 && len(r.minQ) > 0 {
+		return r.minQ[0].rtt
+	}
+	return r.min
+}
 
 // Smoothed returns the smoothed RTT, or InitialRTT before any sample.
 func (r *RTTEstimator) Smoothed() time.Duration {

@@ -260,10 +260,12 @@ func (t Tech) String() string {
 // SpeedtestConfig resolves the testbed's speedtest client configuration:
 // the Config override when set, the Ookla-like defaults otherwise.
 func (tb *Testbed) SpeedtestConfig() measure.SpeedtestConfig {
+	cfg := measure.DefaultSpeedtestConfig()
 	if tb.Cfg.Speedtest.Connections > 0 {
-		return tb.Cfg.Speedtest
+		cfg = tb.Cfg.Speedtest
 	}
-	return measure.DefaultSpeedtestConfig()
+	tb.Cfg.Transport.applyTCP(&cfg.TCP)
+	return cfg
 }
 
 func (tb *Testbed) vantage(t Tech) *netem.Node {

@@ -80,6 +80,10 @@ type Config struct {
 	// DisableSatComPEP removes the dual PEP from the SatCom path (the
 	// ablation showing what the proxies buy).
 	DisableSatComPEP bool
+	// Transport selects the transport profile shared by the QUIC and TCP
+	// stacks (see TransportProfile). The zero value is the paper
+	// baseline and changes nothing.
+	Transport TransportProfile
 	// ReferenceScheduler drives the testbed with the seed container/heap
 	// event queue instead of the allocation-free 4-ary heap. Campaign
 	// output must be bit-identical either way; the equivalence suite in
@@ -151,6 +155,10 @@ type Testbed struct {
 	// Shared protocol configs.
 	WebTCP   tcpsim.Config
 	QUICConf quic.Config
+	// Sessions is the testbed-owned QUIC session-ticket cache; the
+	// transport profile threads it into QUICConf when 0-RTT is enabled
+	// so resumption survives the campaigns' endpoint-per-transfer churn.
+	Sessions *quic.SessionCache
 
 	// Obs is the testbed's observability sink (nil when Config.Obs is
 	// disabled). Every instrumented layer writes into it; the parallel
@@ -439,7 +447,9 @@ func NewTestbed(cfg Config) *Testbed {
 	// --- Ookla-like speedtest servers ---------------------------------
 	tb.WebTCP = tcpsim.DefaultConfig() // TLS 1.2 web mix
 	tb.WebTCP.Obs = tb.Obs
+	cfg.Transport.applyTCP(&tb.WebTCP)
 	stTCP := measure.DefaultSpeedtestConfig().TCP
+	cfg.Transport.applyTCP(&stTCP)
 	for i, spec := range []struct {
 		name string
 		addr string
@@ -461,6 +471,8 @@ func NewTestbed(cfg Config) *Testbed {
 	// --- QUIC server --------------------------------------------------
 	tb.QUICConf = quic.DefaultConfig()
 	tb.QUICConf.Obs = tb.Obs
+	tb.Sessions = quic.NewSessionCache()
+	cfg.Transport.applyQUIC(&tb.QUICConf, tb.Sessions)
 	tb.H3Server = measure.NewH3Server(tb.UCLServer, H3Port, tb.QUICConf)
 	// A plain TCP service on the server, the PEP-detection probe target.
 	tcpsim.Listen(tb.UCLServer, 80, tb.WebTCP, nil)

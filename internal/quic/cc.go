@@ -29,6 +29,12 @@ func NewCubic() *Cubic { return cc.NewCubic(MaxPayloadSize) }
 // NewNewReno returns a NewReno controller sized for QUIC's payload budget.
 func NewNewReno() *NewReno { return cc.NewNewReno(MaxPayloadSize) }
 
+// BBR is the deterministic BBR-style model controller.
+type BBR = cc.BBR
+
+// NewBBR returns a BBR controller sized for QUIC's payload budget.
+func NewBBR() *BBR { return cc.NewBBR(MaxPayloadSize) }
+
 // MinWindowPackets is the congestion window floor in packets.
 const MinWindowPackets = cc.MinWindowPackets
 

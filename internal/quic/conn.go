@@ -52,9 +52,34 @@ type Config struct {
 	AckElicitingThreshold int
 	// NewCC constructs the congestion controller; nil means CUBIC.
 	NewCC func() CongestionController
-	// EnablePacing spaces packet departures at 1.25x cwnd/SRTT.
-	// quiche at the paper's commit did not pace; the default is off.
+	// EnablePacing spaces ack-eliciting departures at the pacing rate
+	// (1.25x cwnd/SRTT, or the controller's own rate when it implements
+	// cc.PacingRater) with a max-burst token bucket. quiche at the
+	// paper's commit did not pace; the default is off.
 	EnablePacing bool
+	// PacingBurst caps the pacer's back-to-back burst allowance in
+	// packets; 0 means cc.DefaultBurstPackets.
+	PacingBurst int
+	// RTTMinWindow, when positive, makes the connection's min-RTT filter
+	// windowed over that much sim time instead of all-time, so a
+	// handover that raises the path RTT stops pinning stale state. 0
+	// keeps the seed's all-time minimum.
+	RTTMinWindow time.Duration
+	// EnableZeroRTT resumes connections against servers recorded in
+	// Sessions without waiting a handshake round trip: Dial returns a
+	// connection that is immediately usable, with the session-ticket
+	// exchange completing in the background. Requires Sessions.
+	EnableZeroRTT bool
+	// Sessions is the session-ticket cache shared across endpoints (the
+	// testbed owns one per profile): clients record a ticket per
+	// (address, port) on every completed handshake and consult it on
+	// Dial when EnableZeroRTT is set.
+	Sessions *SessionCache
+	// AllowMigration lets an established connection follow the peer's
+	// address/port change (RFC 9000 §9) — the NAT rebinding a handover
+	// or outage induces — instead of stranding replies at the stale
+	// mapping until the connection times out.
+	AllowMigration bool
 	// Obs, when non-nil, reports loss/PTO counters, trace events, and
 	// cwnd samples for every connection built with this config.
 	Obs *obs.Sink
@@ -80,6 +105,8 @@ type Stats struct {
 	PacketsAcked        uint64 // our packets acked by the peer
 	PacketsLost         uint64 // sender-declared losses
 	ProbesSent          uint64
+	PathMigrations      uint64 // peer address/port changes followed
+	ZeroRTTResumed      bool   // connection skipped the handshake RTT
 	BytesSent           uint64
 	BytesReceived       uint64
 	FramesRetransmitted uint64
@@ -117,6 +144,13 @@ type Connection struct {
 	remotePort uint16
 
 	state connState
+	// hsConfirmed marks the crypto exchange complete. It tracks the
+	// state variable exactly on the normal path (set in establish); a
+	// 0-RTT resumption is the one case where the connection is usable
+	// (state established) while the ticket exchange is still in flight.
+	hsConfirmed bool
+	// resumed marks a 0-RTT resumption (client side).
+	resumed bool
 
 	// Send side.
 	nextPN            uint64
@@ -204,7 +238,7 @@ func newConnection(ep *Endpoint, cfg Config, isClient bool, connID uint64, remot
 		remote:        remote,
 		remotePort:    remotePort,
 		cc:            newCC(),
-		pacer:         Pacer{Enabled: cfg.EnablePacing},
+		pacer:         Pacer{Enabled: cfg.EnablePacing, BurstPackets: cfg.PacingBurst},
 		maxDataLocal:  cfg.InitialMaxData,
 		connWindow:    cfg.InitialMaxData,
 		maxDataRemote: cfg.InitialMaxData, // peers use symmetric configs in the testbed
@@ -212,6 +246,7 @@ func newConnection(ep *Endpoint, cfg Config, isClient bool, connID uint64, remot
 		activeSet:     make(map[uint64]bool),
 		obs:           newQUICObs(cfg.Obs),
 	}
+	c.rtt.MinWindow = cfg.RTTMinWindow
 	if isClient {
 		c.nextStreamID = 0
 	} else {
@@ -251,9 +286,23 @@ func (c *Connection) LargestSentPN() (uint64, bool) {
 	return c.nextPN - 1, true
 }
 
-// startHandshake begins the client side of the handshake.
+// startHandshake begins the client side of the handshake. With a cached
+// session ticket and EnableZeroRTT, the connection resumes at 0-RTT: it
+// is usable immediately (streams open and data rides the first flight
+// alongside the resumption hello) while the ticket exchange completes in
+// the background. The server needs no special handling — it already runs
+// 0.5-RTT, establishing on the hello.
 func (c *Connection) startHandshake() {
 	c.cryptoOut = make([]byte, clientHelloSize)
+	if c.cfg.EnableZeroRTT && c.cfg.Sessions != nil && c.cfg.Sessions.Has(c.remote, c.remotePort) {
+		c.resumed = true
+		c.Stats.ZeroRTTResumed = true
+		c.state = stateEstablished
+		c.needMaxData = true
+		// Callers assign OnEstablished after Dial returns, so fire it
+		// from a zero-delay event rather than synchronously here.
+		c.sched.AfterFunc(0, qcZeroRTTEstablished, c)
+	}
 	c.maybeSend()
 }
 
@@ -354,6 +403,15 @@ func (c *Connection) handlePacket(p *Packet, from netem.Addr, fromPort uint16) {
 	if c.TraceReceived != nil {
 		c.TraceReceived(now, p.Header.Number, p.Size)
 	}
+	if c.cfg.AllowMigration && c.state == stateEstablished &&
+		(from != c.remote || fromPort != c.remotePort) {
+		// Connection migration (RFC 9000 §9): the peer's packets arrive
+		// from a new address/port — a handover/outage expired its NAT
+		// mapping and the rebinding allocated a fresh one. Follow the
+		// new path so replies stop dying at the stale mapping.
+		c.remote, c.remotePort = from, fromPort
+		c.Stats.PathMigrations++
+	}
 	if c.recvSet.Contains(p.Header.Number) {
 		c.Stats.DuplicatesRecv++
 		return
@@ -446,11 +504,21 @@ func (c *Connection) handshakeProgress() {
 		// Client: full server flight received; send Finished, done.
 		c.cryptoOut = append(c.cryptoOut, make([]byte, clientFinishedSize)...)
 		c.establish()
+	case c.isClient && c.resumed && !c.hsConfirmed && c.cryptoRecvOff >= serverFlightSize:
+		// Resumed client: the connection has been usable since the first
+		// flight; the server flight merely confirms the ticket exchange.
+		c.hsConfirmed = true
 	}
 }
 
 func (c *Connection) establish() {
 	c.state = stateEstablished
+	c.hsConfirmed = true
+	if c.isClient && c.cfg.Sessions != nil {
+		// Record the session ticket so the next Dial to this server can
+		// resume at 0-RTT.
+		c.cfg.Sessions.put(c.remote, c.remotePort)
+	}
 	// Advertise our real connection flow-control limit: transport
 	// parameters are not exchanged in the emulated handshake, so peers
 	// start from conservative assumptions and this update corrects an
@@ -493,7 +561,7 @@ func (c *Connection) onAckReceived(ack *AckFrame, now sim.Time) {
 		if delay > c.cfg.MaxAckDelay {
 			delay = c.cfg.MaxAckDelay
 		}
-		c.rtt.Update(sample, delay)
+		c.rtt.UpdateAt(now, sample, delay)
 		if c.OnRTTSample != nil {
 			c.OnRTTSample(now, sample)
 		}
@@ -656,7 +724,7 @@ func (c *Connection) maybeSend() {
 			for _, f := range frames {
 				size += f.WireLen()
 			}
-			if d := c.pacer.Delay(c.sched.Now(), size, c.cc.Window(), &c.rtt); d > 0 {
+			if d := c.pacer.DelayFor(c.sched.Now(), size, c.cc, &c.rtt); d > 0 {
 				// Put the retransmittable frames back and retry after
 				// the pacing gap; a withheld ACK stays pending.
 				var keep []Frame
@@ -799,8 +867,12 @@ func (c *Connection) sendPacket(frames []Frame) {
 		return
 	}
 	now := c.sched.Now()
+	// The Handshake bit tracks stateHandshaking exactly except for 0-RTT
+	// resumption, where the connection is usable while the ticket
+	// exchange is still in flight — those packets keep the bit so the
+	// server endpoint accepts them as connection-opening.
 	hdr := PacketHeader{
-		Handshake: c.state == stateHandshaking,
+		Handshake: !c.hsConfirmed,
 		ConnID:    c.connID,
 		Number:    c.nextPN,
 	}
@@ -867,6 +939,12 @@ func (c *Connection) sendPacket(frames []Frame) {
 // timer (re-armed per packet under pacing), and the max-ack-delay timer
 // schedule without allocating a bound-method closure per arming.
 func qcLossTimer(arg any) { arg.(*Connection).onLossTimer() }
+func qcZeroRTTEstablished(arg any) {
+	c := arg.(*Connection)
+	if c.state == stateEstablished && c.OnEstablished != nil {
+		c.OnEstablished()
+	}
+}
 func qcPTO(arg any)       { arg.(*Connection).onPTO() }
 func qcMaybeSend(arg any) { arg.(*Connection).maybeSend() }
 func qcAckTimeout(arg any) {

@@ -4,6 +4,7 @@ import (
 	"testing"
 	"time"
 
+	"starlinkperf/internal/cc"
 	"starlinkperf/internal/netem"
 	"starlinkperf/internal/sim"
 )
@@ -315,9 +316,21 @@ func TestNoPacingSendsBackToBackBursts(t *testing.T) {
 		b.AddRoute(a.Addr(), ba)
 		cep := NewEndpoint(a, 5000)
 		sep := NewEndpoint(b, 443)
-		sep.Listen(DefaultConfig(), func(c *Connection) {})
+		// Near-immediate ACKs: with the default 25 ms MaxAckDelay, a
+		// delayed ACK on an odd tail packet inflates the max sample by
+		// more than the queueing under test in both runs.
+		scfg := DefaultConfig()
+		scfg.MaxAckDelay = time.Millisecond
+		sep.Listen(scfg, func(c *Connection) {})
 		ccfg := DefaultConfig()
 		ccfg.EnablePacing = pacing
+		// Strictest spacing: every packet paced, no burst allowance, so
+		// the queue-buildup contrast against the unpaced run is sharp.
+		ccfg.PacingBurst = 1
+		// Pin the window so the two runs differ only in packet spacing:
+		// slow-start overshoot would otherwise dominate the max-RTT sample
+		// in both runs and drown the burst-queueing signal under test.
+		ccfg.NewCC = func() CongestionController { return cc.NewFixed(50000) }
 		conn := cep.Dial(b.Addr(), 443, ccfg)
 		var maxRTT time.Duration
 		conn.OnRTTSample = func(_ sim.Time, rtt time.Duration) {

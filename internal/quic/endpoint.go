@@ -1,6 +1,8 @@
 package quic
 
 import (
+	"fmt"
+
 	"starlinkperf/internal/netem"
 	"starlinkperf/internal/sim"
 )
@@ -25,9 +27,13 @@ type Endpoint struct {
 // NewEndpoint binds a QUIC endpoint to a UDP port of node.
 func NewEndpoint(node *netem.Node, port uint16) *Endpoint {
 	e := &Endpoint{
-		node:  node,
-		port:  port,
-		rng:   node.Scheduler().RNG().Stream(node.Name() + "/quic"),
+		node: node,
+		port: port,
+		// The stream name must include the port: two endpoints on one
+		// node (campaigns build a fresh endpoint per transfer) would
+		// otherwise draw identical connection-ID sequences and collide
+		// at a server whose previous connection is still live.
+		rng:   node.Scheduler().RNG().Stream(fmt.Sprintf("%s/quic/%d", node.Name(), port)),
 		conns: make(map[uint64]*Connection),
 	}
 	node.Bind(netem.ProtoUDP, port, e.receive)

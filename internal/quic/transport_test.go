@@ -1,0 +1,253 @@
+package quic
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"starlinkperf/internal/nat"
+	"starlinkperf/internal/netem"
+	"starlinkperf/internal/sim"
+)
+
+// TestZeroRTTResumptionSkipsHandshakeRTT: with a shared session cache, a
+// second connection to the same server resumes at 0-RTT — it is usable
+// immediately and the transfer completes one handshake RTT sooner than
+// the first (full-handshake) connection over the identical path.
+func TestZeroRTTResumptionSkipsHandshakeRTT(t *testing.T) {
+	const rtt = 80 * time.Millisecond
+	const size = 20000
+
+	s := sim.NewScheduler(29)
+	nw := netem.New(s)
+	a := nw.NewNode("client", netem.MustParseAddr("10.0.0.1"))
+	b := nw.NewNode("server", netem.MustParseAddr("10.0.0.2"))
+	ab, ba := nw.Connect(a, b, netem.LinkConfig{
+		RateBps: 20e6,
+		Delay:   netem.ConstantDelay(rtt / 2),
+	})
+	a.AddRoute(b.Addr(), ab)
+	b.AddRoute(a.Addr(), ba)
+
+	sep := NewEndpoint(b, 443)
+	finAt := make(map[uint64]sim.Time) // stream fin receipt per conn ID
+	var order []uint64
+	sep.Listen(DefaultConfig(), func(c *Connection) {
+		id := c.ConnID()
+		order = append(order, id)
+		c.OnStream = func(st *Stream) {
+			st.OnData = func(data []byte, fin bool) {
+				if fin {
+					finAt[id] = s.Now()
+				}
+			}
+		}
+	})
+
+	sessions := NewSessionCache()
+	dial := func(port uint16, start sim.Time) *Connection {
+		cep := NewEndpoint(a, port)
+		ccfg := DefaultConfig()
+		ccfg.EnableZeroRTT = true
+		ccfg.Sessions = sessions
+		conn := cep.Dial(b.Addr(), 443, ccfg)
+		conn.OnEstablished = func() {
+			st := conn.OpenStream()
+			st.WriteZeroes(size)
+			st.Close()
+		}
+		return conn
+	}
+
+	conn1 := dial(5000, 0)
+	var conn2 *Connection
+	const gap = 2 * time.Second
+	s.After(gap, func() { conn2 = dial(5001, s.Now()) })
+	s.RunFor(10 * time.Second)
+
+	if conn1.Stats.ZeroRTTResumed {
+		t.Error("first connection resumed with an empty session cache")
+	}
+	if conn2 == nil || !conn2.Stats.ZeroRTTResumed {
+		t.Fatal("second connection did not resume at 0-RTT")
+	}
+	if sessions.Len() != 1 {
+		t.Errorf("session cache has %d tickets, want 1 (same server)", sessions.Len())
+	}
+	if len(order) != 2 {
+		t.Fatalf("server accepted %d connections, want 2", len(order))
+	}
+	d1 := finAt[order[0]]
+	d2 := finAt[order[1]].Sub(sim.Time(0).Add(gap))
+	if d1 == 0 || d2 <= 0 {
+		t.Fatalf("transfers incomplete: full=%v resumed=%v", d1, d2)
+	}
+	saved := time.Duration(d1) - d2
+	// The resumed transfer rides the first flight: it should save right
+	// around one RTT (the handshake round) — well over half, under 1.5x.
+	if saved < rtt/2 || saved > 3*rtt/2 {
+		t.Errorf("0-RTT saved %v, want ~%v (full %v, resumed %v)",
+			saved, rtt, time.Duration(d1), d2)
+	}
+}
+
+// migrationTopology wires client --- CGNAT router --- server with the NAT
+// translating the client's RFC 1918 source, returning the pieces the
+// migration tests poke at.
+func migrationTopology(s *sim.Scheduler) (nw *netem.Network, cl, sv *netem.Node, box *nat.NAT) {
+	nw = netem.New(s)
+	cl = nw.NewNode("client", netem.MustParseAddr("192.168.1.2"))
+	rt := nw.NewNode("cgnat", netem.MustParseAddr("100.64.0.1"))
+	sv = nw.NewNode("server", netem.MustParseAddr("1.1.1.1"))
+	link := netem.LinkConfig{RateBps: 20e6, Delay: netem.ConstantDelay(10 * time.Millisecond)}
+	clrt, rtcl := nw.Connect(cl, rt, link)
+	rtsv, svrt := nw.Connect(rt, sv, link)
+	cl.AddRoute(sv.Addr(), clrt)
+	rt.AddRoute(sv.Addr(), rtsv)
+	rt.AddRoute(cl.Addr(), rtcl)
+	sv.AddRoute(rt.Addr(), svrt)
+
+	box = nat.New(rt.Addr(), nat.PrefixInside(netem.MustParseAddr("192.168.1.0"), 24))
+	box.MappingTimeout = 30 * time.Second
+	rt.AttachDevice(box)
+	return nw, cl, sv, box
+}
+
+// TestConnectionMigrationSurvivesNATRebind: an outage-length idle period
+// expires the CGNAT mapping, so the client's next request arrives at the
+// server from a fresh external port. With AllowMigration the server
+// follows the new path and its response reaches the client; without it
+// the response keeps flowing to the dead mapping and the client starves.
+func TestConnectionMigrationSurvivesNATRebind(t *testing.T) {
+	const respSize = 20000
+	run := func(allowMigration bool) (respBytes [2]int, serverConn *Connection) {
+		s := sim.NewScheduler(31)
+		_, cl, sv, box := migrationTopology(s)
+
+		sep := NewEndpoint(sv, 443)
+		scfg := DefaultConfig()
+		scfg.AllowMigration = allowMigration
+		sep.Listen(scfg, func(c *Connection) {
+			serverConn = c
+			// Echo server: respond to each one-byte request with respSize
+			// bytes on the same stream.
+			c.OnStream = func(st *Stream) {
+				st.OnData = func(data []byte, fin bool) {
+					if fin {
+						st.WriteZeroes(respSize)
+						st.Close()
+					}
+				}
+			}
+		})
+
+		cep := NewEndpoint(cl, 5000)
+		conn := cep.Dial(sv.Addr(), 443, DefaultConfig())
+		request := func(i int) {
+			st := conn.OpenStream()
+			st.OnData = func(data []byte, fin bool) { respBytes[i] += len(data) }
+			st.WriteZeroes(1)
+			st.Close()
+		}
+		conn.OnEstablished = func() { request(0) }
+		// Idle long past MappingTimeout, model the CGNAT sweeping its
+		// state, then issue the second request over the rebound path.
+		s.After(59*time.Second, func() { box.Expire(s.Now()) })
+		s.After(60*time.Second, func() { request(1) })
+		s.RunFor(90 * time.Second)
+		return respBytes, serverConn
+	}
+
+	resp, srv := run(true)
+	if resp[0] != respSize {
+		t.Fatalf("pre-rebind response %d/%d bytes", resp[0], respSize)
+	}
+	if resp[1] != respSize {
+		t.Errorf("post-rebind response %d/%d bytes with migration on", resp[1], respSize)
+	}
+	if srv.Stats.PathMigrations == 0 {
+		t.Error("server followed no path migration")
+	}
+
+	resp, srv = run(false)
+	if resp[0] != respSize {
+		t.Fatalf("pre-rebind response %d/%d bytes", resp[0], respSize)
+	}
+	if resp[1] != 0 {
+		t.Errorf("post-rebind response delivered %d bytes with migration off (stale mapping should eat it)", resp[1])
+	}
+	if srv.Stats.PathMigrations != 0 {
+		t.Errorf("PathMigrations = %d with migration disabled", srv.Stats.PathMigrations)
+	}
+}
+
+// TestHandoverReorderingNoSpuriousLoss: a mid-transfer route flip onto a
+// lower-latency parallel path (the 15 s reconfiguration analogue) lets
+// late packets overtake earlier in-flight ones by one delay quantum. The
+// packet threshold (3) and time threshold in loss detection must absorb
+// that: no packets may be declared lost and nothing retransmitted on a
+// loss-free network.
+func TestHandoverReorderingNoSpuriousLoss(t *testing.T) {
+	const total = 1 << 20
+	for _, seed := range []uint64{7, 23, 101} {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			s := sim.NewScheduler(seed)
+			nw := netem.New(s)
+			a := nw.NewNode("client", netem.MustParseAddr("10.0.0.1"))
+			m := nw.NewNode("pop", netem.MustParseAddr("10.0.0.254"))
+			b := nw.NewNode("server", netem.MustParseAddr("10.0.0.2"))
+			// The shared bottleneck comes first; behind it, two delay-only
+			// (rate-0, never-queuing) paths one delay quantum (1 ms)
+			// apart. A slow→fast flip then reorders only by propagation:
+			// at 20 Mbps a full packet serializes in ~0.5 ms, so ~2 PNs
+			// overtake — inside the packet threshold. Parallel links with
+			// their own queues would instead reorder by the whole queue
+			// backlog, which no loss detector should be asked to absorb.
+			am := nw.AddLink(a, m, netem.LinkConfig{RateBps: 20e6})
+			slow := nw.AddLink(m, b, netem.LinkConfig{Delay: netem.ConstantDelay(6 * time.Millisecond)})
+			fast := nw.AddLink(m, b, netem.LinkConfig{Delay: netem.ConstantDelay(5 * time.Millisecond)})
+			bm := nw.AddLink(b, m, netem.LinkConfig{Delay: netem.ConstantDelay(5 * time.Millisecond)})
+			ma := nw.AddLink(m, a, netem.LinkConfig{RateBps: 20e6})
+			a.AddRoute(b.Addr(), am)
+			m.AddRoute(b.Addr(), slow)
+			b.AddRoute(a.Addr(), bm)
+			m.AddRoute(a.Addr(), ma)
+
+			cep := NewEndpoint(a, 5000)
+			sep := NewEndpoint(b, 443)
+			received := 0
+			done := false
+			sep.Listen(DefaultConfig(), func(c *Connection) {
+				c.OnStream = func(st *Stream) {
+					st.OnData = func(data []byte, fin bool) {
+						received += len(data)
+						if fin {
+							done = true
+						}
+					}
+				}
+			})
+			conn := cep.Dial(b.Addr(), 443, DefaultConfig())
+			conn.OnEstablished = func() {
+				st := conn.OpenStream()
+				st.WriteZeroes(total)
+				st.Close()
+			}
+			// Handovers in both directions mid-transfer: slow→fast
+			// reorders, fast→slow merely stretches the gap.
+			s.After(200*time.Millisecond, func() { m.AddRoute(b.Addr(), fast) })
+			s.After(400*time.Millisecond, func() { m.AddRoute(b.Addr(), slow) })
+			s.RunFor(30 * time.Second)
+
+			if !done || received != total {
+				t.Fatalf("transfer incomplete: %d/%d", received, total)
+			}
+			if conn.Stats.PacketsLost != 0 {
+				t.Errorf("%d spurious losses after reordering handover", conn.Stats.PacketsLost)
+			}
+			if conn.Stats.FramesRetransmitted != 0 {
+				t.Errorf("%d frames retransmitted on a loss-free network", conn.Stats.FramesRetransmitted)
+			}
+		})
+	}
+}

@@ -63,6 +63,17 @@ type Config struct {
 	MinRTO time.Duration
 	// DelayedAck is the delayed-ACK timer (Linux: 40 ms).
 	DelayedAck time.Duration
+	// EnablePacing spaces data-segment departures at the rate derived
+	// from the congestion controller (gain x cwnd/SRTT, or the
+	// controller's own rate when it implements cc.PacingRater). Off by
+	// default: the paper's testbed kernel ran without fq pacing.
+	EnablePacing bool
+	// PacingBurst caps the pacer's back-to-back burst allowance in
+	// segments; zero means cc.DefaultBurstPackets.
+	PacingBurst int
+	// RTTMinWindow bounds the age of the RTT estimator's minimum filter
+	// (see cc.RTTEstimator.MinWindow). Zero keeps the all-time minimum.
+	RTTMinWindow time.Duration
 	// Obs, when non-nil, reports retransmission counters, RTO trace
 	// events, and cwnd samples for every connection built with this
 	// config. Disabled observability is the nil default: one pointer
@@ -167,6 +178,8 @@ type Conn struct {
 	finAcked         bool
 	ccc              cc.CongestionController
 	rtt              cc.RTTEstimator
+	pacer            cc.Pacer
+	pacingTimer      sim.TimerHandle
 	rtoCount         int
 	rtoTimer         sim.TimerHandle
 	synTimer         sim.TimerHandle
@@ -271,11 +284,13 @@ func NewConn(p ConnParams) *Conn {
 		remoteAddr: p.RemoteAddr,
 		remotePort: p.RemotePort,
 		ccc:        newCC(cfg.MSS),
+		pacer:      cc.Pacer{Enabled: cfg.EnablePacing, BurstPackets: cfg.PacingBurst},
 		rcvWnd:     cfg.InitialRcvWnd,
 		peerWnd:    cfg.InitialRcvWnd,
 		StartAt:    p.Sched.Now(),
 		obs:        newTCPObs(cfg.Obs),
 	}
+	c.rtt.MinWindow = cfg.RTTMinWindow
 	// How many TLS bytes will the peer send before application data?
 	if p.IsClient {
 		switch cfg.TLSRounds {
@@ -421,6 +436,7 @@ func (c *Conn) teardown() {
 	c.rtoTimer.Stop()
 	c.synTimer.Stop()
 	c.ackTimer.Stop()
+	c.pacingTimer.Stop()
 	if c.closeHook != nil {
 		c.closeHook()
 	}
@@ -589,6 +605,21 @@ func (c *Conn) maybeSend() {
 			break
 		}
 
+		// Pacing gate: before a payload-bearing segment goes out, ask the
+		// pacer for clearance at full-MSS granularity (the dominant
+		// segment size in bulk flows; short tails over-charge a few bytes
+		// of bucket, which only ever delays, never bursts). Deferral
+		// leaves all send state untouched and retries on the timer.
+		if c.pacer.Enabled && (len(c.retxQueue.ranges) > 0 || c.sndNxt < c.sendEnd) {
+			d := c.pacer.DelayFor(c.sched.Now(), headerOverhead+c.cfg.MSS, c.ccc, &c.rtt)
+			if d > 0 {
+				if !c.pacingTimer.Pending() {
+					c.pacingTimer = c.sched.AfterFunc(d, connPaceSend, c)
+				}
+				break
+			}
+		}
+
 		// Retransmissions first.
 		if len(c.retxQueue.ranges) > 0 {
 			r := c.retxQueue.ranges[0]
@@ -697,6 +728,13 @@ func boolTo64(b bool) uint64 {
 func (c *Conn) trackTx(start, end uint64, retx bool) {
 	c.inflightQ = append(c.inflightQ, &txRecord{start: start, end: end, sentAt: c.sched.Now(), retx: retx})
 	c.pipe += int(end - start)
+	// First transmissions only: TCP retransmits reuse sequence space, so
+	// counting them again would double a rate-sampling controller's
+	// in-flight estimate (QUIC retransmits under fresh packet numbers and
+	// has no such aliasing).
+	if !retx {
+		c.ccc.OnPacketSent(c.sched.Now(), int(end-start))
+	}
 }
 
 // armRTO arms the retransmission timer if it is not already pending;
@@ -828,7 +866,7 @@ func (c *Conn) processAck(seg *Segment, now sim.Time) {
 		return
 	}
 	if seg.Echo != 0 {
-		c.rtt.Update(now.Sub(seg.Echo), 0)
+		c.rtt.UpdateAt(now, now.Sub(seg.Echo), 0)
 	}
 	if seg.Ack > c.sndUna {
 		c.sndUna = seg.Ack
@@ -1131,3 +1169,4 @@ func connRTO(arg any)      { arg.(*Conn).onRTO() }
 func connSendAck(arg any)  { arg.(*Conn).sendAck() }
 func connSynRetry(arg any) { arg.(*Conn).onSynRetry() }
 func connTimeWait(arg any) { arg.(*Conn).onTimeWait() }
+func connPaceSend(arg any) { arg.(*Conn).maybeSend() }
