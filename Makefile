@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check fmt vet build test race bench bench-json
+.PHONY: check fmt vet build test race bench bench-json bench-compare
 
 check: ## gofmt + vet + build + race-enabled tests (what CI runs)
 	./ci.sh
@@ -29,3 +29,9 @@ bench:
 BENCH_JSON ?= BENCH_$(shell date +%Y%m%d).json
 bench-json:
 	$(GO) run ./cmd/starlink-bench -quick -bench.json $(BENCH_JSON)
+
+# Diff the metrics sections of two trajectory datapoints with per-key
+# percent deltas: make bench-compare OLD=BENCH_20260805.json NEW=BENCH_20260808.json
+bench-compare:
+	@test -n "$(OLD)" && test -n "$(NEW)" || { echo "usage: make bench-compare OLD=a.json NEW=b.json" >&2; exit 2; }
+	$(GO) run ./cmd/bench-compare $(OLD) $(NEW)

@@ -33,7 +33,9 @@ go test ./internal/netem -run 'TestAllocGate' -count=1
 echo "== fleet reassignment allocation gate (0 allocs/epoch, no race detector)"
 # Same idea for the planet-scale fleet: the per-epoch cell-indexed
 # reassignment (snapshot lookup, candidate build, terminal scan, beam
-# accounting) must stay allocation-free in steady state.
+# accounting) must stay allocation-free in steady state — including the
+# 100k-terminal pooled epoch path (TestAllocGateFleetEpoch100k), the
+# regime the 1M bench sweep scales from.
 go test ./internal/fleet -run 'TestAllocGate' -count=1
 
 echo "== starlink-bench smoke (quick campaigns + bench.json schema)"
@@ -98,5 +100,25 @@ go run ./cmd/starlink-bench -quick -workers 1 -scenario.workers 1 -fidelity full
 cmp "$ci_tmp/trace1.bin" "$ci_tmp/trace4.bin"
 cmp "$ci_tmp/metrics1.json" "$ci_tmp/metrics4.json"
 cmp "$ci_tmp/figures1.txt" "$ci_tmp/figures4.txt"
+
+echo "== partitioned epoch campaign at 100k terminals (1/2/8 workers, byte-diffed)"
+# The fleet scale tentpole: the same quick campaign with the fleet
+# scenario scaled to 100k terminals, run with 1 (sequential reference),
+# 2 and 8 epoch-campaign workers. The pooled fork/join path with
+# per-worker scratch and ordered merge must produce byte-identical
+# results, metrics and traces — determinism at the scale the 1M sweep
+# extrapolates from.
+go run ./cmd/starlink-bench -quick -fleet.terminals 100000 -workers 1 -scenario.workers 1 \
+    -trace "$ci_tmp/trace100k_1.bin" -metrics.json "$ci_tmp/metrics100k_1.json" >"$ci_tmp/figures100k_1.txt"
+go run ./cmd/starlink-bench -quick -fleet.terminals 100000 -workers 2 -scenario.workers 2 \
+    -trace "$ci_tmp/trace100k_2.bin" -metrics.json "$ci_tmp/metrics100k_2.json" >"$ci_tmp/figures100k_2.txt"
+go run ./cmd/starlink-bench -quick -fleet.terminals 100000 -workers 8 -scenario.workers 8 \
+    -trace "$ci_tmp/trace100k_8.bin" -metrics.json "$ci_tmp/metrics100k_8.json" >"$ci_tmp/figures100k_8.txt"
+cmp "$ci_tmp/trace100k_1.bin" "$ci_tmp/trace100k_2.bin"
+cmp "$ci_tmp/trace100k_1.bin" "$ci_tmp/trace100k_8.bin"
+cmp "$ci_tmp/metrics100k_1.json" "$ci_tmp/metrics100k_2.json"
+cmp "$ci_tmp/metrics100k_1.json" "$ci_tmp/metrics100k_8.json"
+cmp "$ci_tmp/figures100k_1.txt" "$ci_tmp/figures100k_2.txt"
+cmp "$ci_tmp/figures100k_1.txt" "$ci_tmp/figures100k_8.txt"
 
 echo "CI: all green"

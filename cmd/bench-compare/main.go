@@ -1,0 +1,101 @@
+// Command bench-compare diffs the metrics sections of two
+// starlink-bench reports (BENCH_<date>.json), printing one row per
+// metric with the old value, the new value and the percent delta — the
+// quick way to see what a PR moved in the committed perf trajectory:
+//
+//	make bench-compare OLD=BENCH_20260805.json NEW=BENCH_20260808.json
+//
+// Keys present in only one report are marked added/removed rather than
+// failing, so the tool stays useful across schema growth.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+}
+
+// compareReport is the slice of the starlink-bench schema this tool
+// reads: the flat metrics map plus enough header to label the columns.
+type compareReport struct {
+	Schema      string             `json:"schema"`
+	Date        string             `json:"date"`
+	WallSeconds float64            `json:"wall_seconds"`
+	Metrics     map[string]float64 `json:"metrics"`
+}
+
+func load(path string) (compareReport, error) {
+	var rep compareReport
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return rep, err
+	}
+	if err := json.Unmarshal(blob, &rep); err != nil {
+		return rep, fmt.Errorf("%s: %w", path, err)
+	}
+	if rep.Metrics == nil {
+		return rep, fmt.Errorf("%s: no metrics section", path)
+	}
+	return rep, nil
+}
+
+func run(args []string, w io.Writer) error {
+	if len(args) != 2 {
+		return fmt.Errorf("usage: bench-compare OLD.json NEW.json")
+	}
+	oldRep, err := load(args[0])
+	if err != nil {
+		return err
+	}
+	newRep, err := load(args[1])
+	if err != nil {
+		return err
+	}
+
+	keys := make(map[string]bool, len(oldRep.Metrics)+len(newRep.Metrics))
+	for k := range oldRep.Metrics {
+		keys[k] = true
+	}
+	for k := range newRep.Metrics {
+		keys[k] = true
+	}
+	sorted := make([]string, 0, len(keys))
+	for k := range keys {
+		sorted = append(sorted, k)
+	}
+	sort.Strings(sorted)
+
+	fmt.Fprintf(w, "old: %s (%s)\nnew: %s (%s)\n\n", args[0], oldRep.Date, args[1], newRep.Date)
+	fmt.Fprintf(w, "%-40s %14s %14s %10s\n", "metric", "old", "new", "delta")
+	for _, k := range sorted {
+		o, inOld := oldRep.Metrics[k]
+		n, inNew := newRep.Metrics[k]
+		switch {
+		case !inOld:
+			fmt.Fprintf(w, "%-40s %14s %14.4g %10s\n", k, "-", n, "added")
+		case !inNew:
+			fmt.Fprintf(w, "%-40s %14.4g %14s %10s\n", k, o, "-", "removed")
+		case o == n:
+			fmt.Fprintf(w, "%-40s %14.4g %14.4g %10s\n", k, o, n, "=")
+		case o == 0:
+			fmt.Fprintf(w, "%-40s %14.4g %14.4g %10s\n", k, o, n, "n/a")
+		default:
+			fmt.Fprintf(w, "%-40s %14.4g %14.4g %+9.2f%%\n", k, o, n, 100*(n-o)/o)
+		}
+	}
+	if oldRep.WallSeconds > 0 && newRep.WallSeconds > 0 {
+		fmt.Fprintf(w, "\nwall_seconds: %.2f -> %.2f (%+.2f%%)\n",
+			oldRep.WallSeconds, newRep.WallSeconds,
+			100*(newRep.WallSeconds-oldRep.WallSeconds)/oldRep.WallSeconds)
+	}
+	return nil
+}

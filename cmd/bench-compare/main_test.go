@@ -1,0 +1,67 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeReport(t *testing.T, name, blob string) string {
+	t.Helper()
+	p := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(p, []byte(blob), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestCompareReports(t *testing.T) {
+	oldPath := writeReport(t, "old.json", `{
+		"schema": "starlink-bench/v1", "date": "2026-08-05T00:00:00Z",
+		"wall_seconds": 10.0,
+		"metrics": {"latency_samples": 100, "loss_h3_down_pct": 0.5, "gone_metric": 7}
+	}`)
+	newPath := writeReport(t, "new.json", `{
+		"schema": "starlink-bench/v1", "date": "2026-08-08T00:00:00Z",
+		"wall_seconds": 8.0,
+		"metrics": {"latency_samples": 100, "loss_h3_down_pct": 0.4, "fresh_metric": 3}
+	}`)
+	var out strings.Builder
+	if err := run([]string{oldPath, newPath}, &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	got := out.String()
+	for _, want := range []string{
+		"2026-08-05", "2026-08-08",
+		"latency_samples",
+		"=",       // unchanged metric
+		"-20.00%", // 0.5 -> 0.4
+		"added",   // fresh_metric
+		"removed", // gone_metric
+		"wall_seconds: 10.00 -> 8.00 (-20.00%)",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestCompareRejectsBadInput(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"only-one.json"}, &out); err == nil {
+		t.Error("single argument accepted")
+	}
+	good := writeReport(t, "good.json", `{"metrics": {"a": 1}}`)
+	if err := run([]string{good, filepath.Join(t.TempDir(), "absent.json")}, &out); err == nil {
+		t.Error("missing file accepted")
+	}
+	garbage := writeReport(t, "garbage.json", "not json")
+	if err := run([]string{good, garbage}, &out); err == nil {
+		t.Error("unparseable file accepted")
+	}
+	noMetrics := writeReport(t, "nometrics.json", `{"schema": "starlink-bench/v1"}`)
+	if err := run([]string{good, noMetrics}, &out); err == nil {
+		t.Error("report without metrics accepted")
+	}
+}

@@ -3,6 +3,7 @@ package main
 import (
 	"fmt"
 	"io"
+	"reflect"
 	"runtime"
 	"time"
 
@@ -27,6 +28,154 @@ type fleetReport struct {
 	AllocsPerEpoch  float64 `json:"allocs_per_epoch"`
 
 	Regions []fleetRegionReport `json:"regions"`
+
+	// Scale is the partitioned epoch campaign's terminal-count sweep:
+	// 10k/100k/1M-terminal epochs through the pooled fork/join path and
+	// the in-tree sequential reference, each held to zero steady-state
+	// allocations.
+	Scale fleetScaleReport `json:"scale"`
+}
+
+// fleetScalePoint is one row of the terminal-count sweep: steady-state
+// epoch cost (pooled and sequential) and allocations at one fleet size.
+type fleetScalePoint struct {
+	Terminals     int     `json:"terminals"`
+	Workers       int     `json:"workers"`
+	NsPerEpoch    float64 `json:"ns_per_epoch"`
+	SeqNsPerEpoch float64 `json:"seq_ns_per_epoch"`
+	// ParallelSpeedup is seq/pooled wall per epoch. Only meaningful on a
+	// machine with cores behind the workers; the validator gates it at
+	// the 1M point only when speedup_gate_armed.
+	ParallelSpeedup float64 `json:"parallel_speedup"`
+	AllocsPerEpoch  float64 `json:"allocs_per_epoch"`
+}
+
+// fleetScaleReport is the bench.json section for the partitioned epoch
+// campaign at scale. ResultsMatch compares a full multi-worker
+// 100k-terminal campaign against the single-worker reference
+// (reflect.DeepEqual on the campaign result; ci.sh byte-diffs the
+// exports on top of this).
+type fleetScaleReport struct {
+	Points           []fleetScalePoint `json:"points"`
+	ResultsMatch     bool              `json:"results_match"`
+	SpeedupGateArmed bool              `json:"speedup_gate_armed"`
+}
+
+// fleetScaleSizes is the sweep axis; the validator requires exactly
+// these sizes so a trajectory file can never silently drop the 1M point.
+var fleetScaleSizes = [3]int{10000, 100000, 1000000}
+
+// fleetScaleSweep times steady-state epochs at each fleet size. Instants
+// cycle the constellation's 8-slot snapshot ring after a warmup (as in
+// fleetMicrobench), so the measured epochs never recompute positions and
+// allocs/epoch comes from the cumulative malloc counter — the pooled
+// path genuinely reads zero at every size, which is what makes the 1M
+// point affordable even in the quick profile.
+func fleetScaleSweep(seed uint64) fleetScaleReport {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > 8 {
+		workers = 8
+	}
+	if workers < 2 {
+		// Always exercise the pooled fork/join path: on a small box the
+		// sweep still proves determinism and zero allocation, it just
+		// cannot express a speedup (the gate stays disarmed).
+		workers = 2
+	}
+	rep := fleetScaleReport{SpeedupGateArmed: speedupGatesArmed()}
+	var instants [8]sim.Time
+	for i := range instants {
+		instants[i] = sim.Time(int64(i) * int64(15*time.Second))
+	}
+	for _, terms := range fleetScaleSizes {
+		warm, measureN, seqN := 2, 8, 4
+		if terms >= 1000000 {
+			warm, measureN, seqN = 1, 4, 2
+		}
+		fl := fleet.New(fleet.Config{Seed: seed, Terminals: terms, Workers: workers})
+		for r := 0; r < warm; r++ {
+			for e, at := range instants {
+				fl.RunEpoch(e, at)
+			}
+		}
+		var ms0, ms1 runtime.MemStats
+		runtime.GC()
+		runtime.ReadMemStats(&ms0)
+		start := time.Now()
+		for i := 0; i < measureN; i++ {
+			fl.RunEpoch(i%len(instants), instants[i%len(instants)])
+		}
+		elapsed := time.Since(start)
+		runtime.ReadMemStats(&ms1)
+		pt := fleetScalePoint{
+			Terminals:      terms,
+			Workers:        workers,
+			NsPerEpoch:     float64(elapsed.Nanoseconds()) / float64(measureN),
+			AllocsPerEpoch: float64(ms1.Mallocs-ms0.Mallocs) / float64(measureN),
+		}
+		fl.RunEpochSequential(0, instants[0])
+		start = time.Now()
+		for i := 0; i < seqN; i++ {
+			fl.RunEpochSequential(i%len(instants), instants[i%len(instants)])
+		}
+		pt.SeqNsPerEpoch = float64(time.Since(start).Nanoseconds()) / float64(seqN)
+		pt.ParallelSpeedup = pt.SeqNsPerEpoch / pt.NsPerEpoch
+		fl.Close()
+		rep.Points = append(rep.Points, pt)
+	}
+	// Determinism at scale: a whole 100k-terminal campaign (eight
+	// epochs) pooled vs single-worker must agree exactly.
+	cfg := fleet.Config{Seed: seed, Terminals: 100000, Horizon: 2 * time.Minute, Workers: workers}
+	pooled := fleet.Run(cfg)
+	cfg.Workers = 1
+	single := fleet.Run(cfg)
+	rep.ResultsMatch = reflect.DeepEqual(pooled, single)
+	return rep
+}
+
+// renderFleetScale prints the terminal-count sweep for the
+// human-readable report.
+func renderFleetScale(w io.Writer, rep fleetScaleReport) {
+	fmt.Fprintf(w, "\n=== fleet scale sweep (partitioned epoch campaign) ===\n")
+	for _, pt := range rep.Points {
+		fmt.Fprintf(w, "%8d terminals: %8.2f ms/epoch on %d workers (sequential %8.2f ms, %.2fx, %.2f allocs/epoch)\n",
+			pt.Terminals, pt.NsPerEpoch/1e6, pt.Workers, pt.SeqNsPerEpoch/1e6, pt.ParallelSpeedup, pt.AllocsPerEpoch)
+	}
+	gate := "skipped (needs >= 8-way parallelism)"
+	if rep.SpeedupGateArmed {
+		gate = "armed"
+	}
+	fmt.Fprintf(w, "speedup gate %s; 100k campaign matches single-worker reference: %v\n", gate, rep.ResultsMatch)
+}
+
+// validateFleetScale checks the scale section: all three sizes present
+// in order, every point timed and allocation-free, the 100k campaign
+// equivalence holding, and — only on machines that armed the gate — a
+// real parallel speedup at the 1M point.
+func validateFleetScale(s fleetScaleReport) error {
+	if len(s.Points) != len(fleetScaleSizes) {
+		return fmt.Errorf("fleet scale sweep has %d points, want %d", len(s.Points), len(fleetScaleSizes))
+	}
+	for i, pt := range s.Points {
+		if pt.Terminals != fleetScaleSizes[i] {
+			return fmt.Errorf("fleet scale point %d has %d terminals, want %d", i, pt.Terminals, fleetScaleSizes[i])
+		}
+		if pt.Workers < 2 || pt.NsPerEpoch <= 0 || pt.SeqNsPerEpoch <= 0 {
+			return fmt.Errorf("fleet scale point incomplete: %+v", pt)
+		}
+		if pt.AllocsPerEpoch < 0 || pt.AllocsPerEpoch >= 1 {
+			return fmt.Errorf("fleet scale %d-terminal allocs_per_epoch = %v, want < 1", pt.Terminals, pt.AllocsPerEpoch)
+		}
+	}
+	if !s.ResultsMatch {
+		return fmt.Errorf("fleet scale results_match = false: pooled campaign diverged from single-worker reference")
+	}
+	if s.SpeedupGateArmed {
+		if last := s.Points[len(s.Points)-1]; last.ParallelSpeedup < 1.5 {
+			return fmt.Errorf("fleet scale 1M parallel_speedup = %.2f with the gate armed, want >= 1.5", last.ParallelSpeedup)
+		}
+	}
+	return nil
 }
 
 // fleetRegionReport flattens one region's campaign distributions.
@@ -159,5 +308,5 @@ func validateFleetReport(f fleetReport) error {
 			return fmt.Errorf("fleet region %s outage_pct = %v", rr.Region, rr.OutagePct)
 		}
 	}
-	return nil
+	return validateFleetScale(f.Scale)
 }

@@ -96,6 +96,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	fidelity := fs.String("fidelity", "auto", "fleet traffic emulation fidelity: auto (tiers + fast-forward), tiers, or full; never changes results, only wall clock")
 	transport := fs.String("transport", "paper", "transport profile for the campaigns: paper | modern | toggle list (bbr,pacing,zerortt,migration,minrtt,idledecay)")
 	quick := fs.Bool("quick", false, "tiny smoke-sized campaigns for CI (ignores -scale)")
+	fleetTerminals := fs.Int("fleet.terminals", 0, "override the fleet scenario's terminal count (0 = profile default); the partitioned epoch campaign is bit-identical for any worker count at any size")
 	benchJSON := fs.String("bench.json", "", "write headline metrics as JSON to this file")
 	tracePath := fs.String("trace", "", "write the event trace here (.jsonl extension selects JSON Lines, anything else the OTR1 binary format)")
 	metricsJSON := fs.String("metrics.json", "", "write the per-shard + merged metrics registry as JSON to this file")
@@ -127,6 +128,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 		return fmt.Errorf("fidelity must be auto, tiers or full, got %q", *fidelity)
 	}
 	sz := sizesFor(*scale, *quick)
+	if *fleetTerminals > 0 {
+		sz.fleetTerms = *fleetTerminals
+	}
 
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
@@ -266,6 +270,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	var pdesRep pdesReport
 	var fidelityRep fidelityReport
 	var transportRep transportReport
+	var scaleRep fleetScaleReport
 	if *benchJSON != "" {
 		fmt.Fprintf(stderr, "pdes microbench: reference + 1/2/4/8-worker sweep...\n")
 		pdesRep = pdesMicrobench(*quick, *seed)
@@ -273,6 +278,8 @@ func run(args []string, stdout, stderr io.Writer) error {
 		fidelityRep = fidelityMicrobench(*quick, *seed)
 		fmt.Fprintf(stderr, "transport microbench: paper vs modern profiles...\n")
 		transportRep = transportMicrobench(*quick, *seed)
+		fmt.Fprintf(stderr, "fleet scale sweep: 10k/100k/1M-terminal epochs...\n")
+		scaleRep = fleetScaleSweep(*seed)
 	}
 	fmt.Fprintf(stderr, "running %d campaigns on %d workers...\n", len(jobs), nw)
 	started := time.Now()
@@ -365,12 +372,14 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if *benchJSON != "" {
 		rep := makeBenchReport(*scale, *quick, nw, *seed, wall, fig1, t2, fig5)
 		rep.Fleet = makeFleetReport(fleetRes, *quick)
+		rep.Fleet.Scale = scaleRep
 		rep.Pdes = pdesRep
 		rep.Fidelity = fidelityRep
 		rep.Transport = transportRep
 		renderPdes(stdout, rep.Pdes)
 		renderFidelity(stdout, rep.Fidelity)
 		renderTransport(stdout, rep.Transport)
+		renderFleetScale(stdout, rep.Fleet.Scale)
 		rep.Obs = collector.Snapshot()
 		blob, err := json.MarshalIndent(rep, "", "  ")
 		if err != nil {
@@ -404,15 +413,24 @@ func run(args []string, stdout, stderr io.Writer) error {
 // name → value map so new headline numbers can be added without a schema
 // bump; json.Marshal emits map keys sorted, keeping diffs stable.
 type benchReport struct {
-	Schema      string             `json:"schema"`
-	Date        string             `json:"date"`
-	GoVersion   string             `json:"go_version"`
-	Scale       int                `json:"scale"`
-	Quick       bool               `json:"quick"`
-	Workers     int                `json:"workers"`
-	Seed        uint64             `json:"seed"`
-	WallSeconds float64            `json:"wall_seconds"`
-	Metrics     map[string]float64 `json:"metrics"`
+	Schema    string `json:"schema"`
+	Date      string `json:"date"`
+	GoVersion string `json:"go_version"`
+	Scale     int    `json:"scale"`
+	Quick     bool   `json:"quick"`
+	Workers   int    `json:"workers"`
+	// Cores is the machine's logical CPU count and GoMaxProcs the
+	// scheduler's parallelism at run time; SpeedupGatesArmed records
+	// whether the cores-conditional speedup gates (pdes speedup_8w, the
+	// fleet scale sweep's parallel_speedup floor) were armed or skipped
+	// on the machine that produced this report — so a trajectory file
+	// from a small box is never mistaken for a passed parallelism gate.
+	Cores             int                `json:"cores"`
+	GoMaxProcs        int                `json:"gomaxprocs"`
+	SpeedupGatesArmed bool               `json:"speedup_gates_armed"`
+	Seed              uint64             `json:"seed"`
+	WallSeconds       float64            `json:"wall_seconds"`
+	Metrics           map[string]float64 `json:"metrics"`
 	// Obs is the merged observability registry flattened to name → value
 	// (counters as counts, gauges as maxima, histograms as .count/.sum).
 	// It is deterministic for a given (config, seed), so trajectory diffs
@@ -428,6 +446,14 @@ type benchReport struct {
 }
 
 const benchSchema = "starlink-bench/v1"
+
+// speedupGatesArmed reports whether this machine has the parallelism to
+// back the cores-conditional speedup floors. It keys on GOMAXPROCS, not
+// NumCPU: the gates time goroutine scaling, and a 16-core box pinned to
+// GOMAXPROCS=1 can express none of it.
+func speedupGatesArmed() bool {
+	return runtime.GOMAXPROCS(0) >= 8
+}
 
 // geometryReport times the serving-satellite hot loop both ways: the
 // ECEF/pruned/snapshot fast path versus the naive full scan kept in-tree
@@ -472,18 +498,21 @@ func makeBenchReport(scale int, quick bool, workers int, seed uint64, wall time.
 	m["latency_samples"] = float64(samples)
 
 	return benchReport{
-		Schema:      benchSchema,
-		Date:        time.Now().UTC().Format(time.RFC3339),
-		GoVersion:   runtime.Version(),
-		Scale:       scale,
-		Quick:       quick,
-		Workers:     workers,
-		Seed:        seed,
-		WallSeconds: wall.Seconds(),
-		Metrics:     m,
-		Geometry:    geometryMicrobench(quick),
-		Scheduler:   schedulerMicrobench(quick),
-		PacketPath:  packetPathMicrobench(quick),
+		Schema:            benchSchema,
+		Date:              time.Now().UTC().Format(time.RFC3339),
+		GoVersion:         runtime.Version(),
+		Scale:             scale,
+		Quick:             quick,
+		Workers:           workers,
+		Cores:             runtime.NumCPU(),
+		GoMaxProcs:        runtime.GOMAXPROCS(0),
+		SpeedupGatesArmed: speedupGatesArmed(),
+		Seed:              seed,
+		WallSeconds:       wall.Seconds(),
+		Metrics:           m,
+		Geometry:          geometryMicrobench(quick),
+		Scheduler:         schedulerMicrobench(quick),
+		PacketPath:        packetPathMicrobench(quick),
 	}
 }
 
@@ -767,6 +796,13 @@ func validateBenchJSON(path string) error {
 	}
 	if rep.WallSeconds <= 0 {
 		return fmt.Errorf("wall_seconds = %v, want > 0", rep.WallSeconds)
+	}
+	if rep.Cores <= 0 || rep.GoMaxProcs <= 0 {
+		return fmt.Errorf("cores = %d, gomaxprocs = %d, want both > 0", rep.Cores, rep.GoMaxProcs)
+	}
+	if rep.SpeedupGatesArmed != (rep.GoMaxProcs >= 8) {
+		return fmt.Errorf("speedup_gates_armed = %v with gomaxprocs = %d; the flag must record whether the parallelism gates could run",
+			rep.SpeedupGatesArmed, rep.GoMaxProcs)
 	}
 	for _, key := range []string{
 		"latency_samples", "loss_h3_down_pct", "loss_msg_down_pct",

@@ -107,14 +107,17 @@ func TestRunQuickSmoke(t *testing.T) {
 // the schema checks are covered without a second campaign run.
 func TestValidateBenchJSON(t *testing.T) {
 	valid := benchReport{
-		Schema:      benchSchema,
-		Date:        "2026-08-05T00:00:00Z",
-		GoVersion:   "go1.22",
-		Scale:       1,
-		Quick:       true,
-		Workers:     2,
-		Seed:        1,
-		WallSeconds: 9.5,
+		Schema:            benchSchema,
+		Date:              "2026-08-05T00:00:00Z",
+		GoVersion:         "go1.22",
+		Scale:             1,
+		Quick:             true,
+		Workers:           2,
+		Cores:             8,
+		GoMaxProcs:        8,
+		SpeedupGatesArmed: true,
+		Seed:              1,
+		WallSeconds:       9.5,
 		Metrics: map[string]float64{
 			"latency_samples": 1, "loss_h3_down_pct": 0.1, "loss_msg_down_pct": 0.1,
 			"speedtest_starlink_down_p50_mbps": 100, "h3_starlink_down_p50_mbps": 50,
@@ -140,6 +143,15 @@ func TestValidateBenchJSON(t *testing.T) {
 				{Region: "europe", Terminals: 2500, OutagePct: 1.1, LatencyP50Ms: 35,
 					LatencyP95Ms: 60, Handovers: 12000, PeakMbpsP50: 40, OffPeakMbpsP50: 70, PeakDipPct: 42},
 			},
+			Scale: fleetScaleReport{
+				Points: []fleetScalePoint{
+					{Terminals: 10000, Workers: 8, NsPerEpoch: 4e5, SeqNsPerEpoch: 2e6, ParallelSpeedup: 5, AllocsPerEpoch: 0},
+					{Terminals: 100000, Workers: 8, NsPerEpoch: 4e6, SeqNsPerEpoch: 2e7, ParallelSpeedup: 5, AllocsPerEpoch: 0},
+					{Terminals: 1000000, Workers: 8, NsPerEpoch: 4e7, SeqNsPerEpoch: 2e8, ParallelSpeedup: 5, AllocsPerEpoch: 0},
+				},
+				ResultsMatch:     true,
+				SpeedupGateArmed: true,
+			},
 		},
 		Pdes: pdesReport{
 			Terminals: 2000, Partitions: 16, ProbesSent: 20000, ProbesRecv: 19000,
@@ -158,7 +170,7 @@ func TestValidateBenchJSON(t *testing.T) {
 			LinksFull: 0, LinksDelayOnly: 4000, LinksFast: 304,
 			WallFullSeconds: 0.18, WallTiersSeconds: 0.13, WallAutoSeconds: 0.045,
 			EventsFull: 1000000, EventsTiers: 550000, EventsAuto: 180000,
-			EventsSkipped: 370000, FastForwarded: 54000,
+			EventsSkipped: 370000, FastForwarded: 54000, AbsorbedSharePct: 93.5,
 			SpeedupTiers: 1.38, SpeedupTotal: 4.0, ResultsMatch: true,
 		},
 		Transport: transportReport{
@@ -233,6 +245,41 @@ func TestValidateBenchJSON(t *testing.T) {
 		},
 		"fidelity ff absorbed nothing": func(r *benchReport) {
 			r.Fidelity.FastForwarded, r.Fidelity.EventsSkipped = 0, 0
+		},
+		"fidelity absorbed share at PR8 baseline": func(r *benchReport) {
+			r.Fidelity.AbsorbedSharePct = 69.8
+		},
+		"fidelity absorbed share above 100": func(r *benchReport) {
+			r.Fidelity.AbsorbedSharePct = 101
+		},
+		"cores missing":      func(r *benchReport) { r.Cores = 0 },
+		"gomaxprocs missing": func(r *benchReport) { r.GoMaxProcs = 0 },
+		"speedup gate flag inconsistent": func(r *benchReport) {
+			r.GoMaxProcs, r.SpeedupGatesArmed = 2, true
+		},
+		"fleet scale missing 1M point": func(r *benchReport) {
+			r.Fleet.Scale.Points = r.Fleet.Scale.Points[:2]
+		},
+		"fleet scale wrong size": func(r *benchReport) {
+			pts := make([]fleetScalePoint, len(r.Fleet.Scale.Points))
+			copy(pts, r.Fleet.Scale.Points)
+			pts[2].Terminals = 500000
+			r.Fleet.Scale.Points = pts
+		},
+		"fleet scale alloc regression": func(r *benchReport) {
+			pts := make([]fleetScalePoint, len(r.Fleet.Scale.Points))
+			copy(pts, r.Fleet.Scale.Points)
+			pts[1].AllocsPerEpoch = 2
+			r.Fleet.Scale.Points = pts
+		},
+		"fleet scale results mismatch": func(r *benchReport) {
+			r.Fleet.Scale.ResultsMatch = false
+		},
+		"fleet scale speedup below floor when armed": func(r *benchReport) {
+			pts := make([]fleetScalePoint, len(r.Fleet.Scale.Points))
+			copy(pts, r.Fleet.Scale.Points)
+			pts[2].ParallelSpeedup = 1.1
+			r.Fleet.Scale.Points = pts
 		},
 		"no transport":             func(r *benchReport) { r.Transport = transportReport{} },
 		"transport paper diverged": func(r *benchReport) { r.Transport.PaperIdentical = false },

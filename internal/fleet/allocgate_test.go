@@ -67,6 +67,31 @@ func TestAllocGateObserveEpoch(t *testing.T) {
 	}
 }
 
+// TestAllocGateFleetEpoch100k holds the 100k-terminal partitioned epoch
+// path — pooled multi-worker reassignment plus the scratch-and-merge
+// observation phase — to zero steady-state allocations. This is the
+// regime the 1M bench sweep scales from: the pool hands out channel
+// tokens instead of spawning goroutines, every worker observes into
+// preallocated scratch, and the merge is pure integer adds, so epoch
+// cost is flat at any fleet size once warm.
+func TestAllocGateFleetEpoch100k(t *testing.T) {
+	fl := New(Config{Seed: 5, Terminals: 100000, Workers: 4})
+	defer fl.Close()
+	instants := ringInstants()
+	for r := 0; r < 2; r++ {
+		for e, at := range instants {
+			fl.RunEpoch(e, at)
+		}
+	}
+	i := 0
+	if avg := testing.AllocsPerRun(8, func() {
+		fl.RunEpoch(i%len(instants), instants[i%len(instants)])
+		i++
+	}); avg != 0 {
+		t.Errorf("100k pooled epoch: %v allocs, want 0", avg)
+	}
+}
+
 // BenchmarkReassignCellIndex measures the steady-state per-epoch cost of
 // the cell-indexed path on a 10k-terminal Gen1 fleet. Must report
 // 0 allocs/op.

@@ -2,8 +2,6 @@ package fleet
 
 import (
 	"math"
-	"sync"
-	"sync/atomic"
 
 	"starlinkperf/internal/geo"
 	"starlinkperf/internal/leo"
@@ -19,42 +17,24 @@ const assignBlock = 2048
 // bent-pipe delay for the epoch instant at, using the cell index: one
 // sweep over the constellation builds per-cell candidate lists (CSR into
 // reused scratch), then each terminal scans only its cell's candidates.
-// With cfg.Workers > 1 the per-terminal phase fans out over goroutines;
-// every terminal is a pure function of (position, snapshot), so results
-// are bit-identical for any worker count.
+// With cfg.Workers > 1 the per-terminal phase fans out over the fleet's
+// persistent worker pool (pool.go); every terminal is a pure function of
+// (position, snapshot), so results are bit-identical for any worker
+// count.
 //
-// Steady state allocates nothing with Workers <= 1 once the snapshot
-// ring and the candidate scratch have warmed up (multi-worker runs pay
-// the goroutine spawns, nothing else); the fleet alloc gate holds this
-// path to zero.
+// Steady state allocates nothing for any worker count once the snapshot
+// ring and the candidate scratch have warmed up — the pool replaced the
+// old per-epoch goroutine spawns with channel tokens, which is what lets
+// the 100k-terminal alloc gate run the multi-worker path; the fleet
+// alloc gates hold both paths to zero.
 func (f *Fleet) ReassignAt(at sim.Time) {
 	snap := f.con.SnapshotAt(at)
 	f.buildCandidates(snap)
-	n := len(f.sat)
-	if f.cfg.Workers <= 1 {
-		f.assignRange(0, n)
+	if f.pool == nil {
+		f.assignRange(0, len(f.sat))
 		return
 	}
-	var next atomic.Int64
-	var wg sync.WaitGroup
-	for w := 0; w < f.cfg.Workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				lo := int(next.Add(1)-1) * assignBlock
-				if lo >= n {
-					return
-				}
-				hi := lo + assignBlock
-				if hi > n {
-					hi = n
-				}
-				f.assignRange(lo, hi)
-			}
-		}()
-	}
-	wg.Wait()
+	f.pool.runPhase(phaseAssign)
 }
 
 // buildCandidates fills the per-cell candidate CSR (candStart, cands)

@@ -98,7 +98,7 @@ func TestCellIndexMatchesReference(t *testing.T) {
 func runWithSink(cfg Config) (*Result, []byte, []byte) {
 	sink := obs.NewSink(0)
 	cfg.Obs = sink
-	res := New(cfg).Run()
+	res := Run(cfg)
 	col := obs.NewCollector()
 	col.Add("fleet/0000", sink)
 	return res, col.ExportMetricsJSON(), col.ExportTraceBinary()
@@ -143,6 +143,63 @@ func TestRunWorkerInvariance(t *testing.T) {
 	}
 	if !bytes.Equal(oneTrace, eightTrace) {
 		t.Error("trace exports differ across worker counts")
+	}
+}
+
+// TestEpochCampaignWorkerInvariance is the partitioned epoch campaign's
+// proof obligation: full campaigns — results, metrics exports, trace
+// exports — must be bit-identical between the single-threaded reference
+// (Workers 1, direct accumulation) and the pooled fork/join path
+// (Workers 2 and 8, per-worker scratch with ordered merge) across
+// several seeds and latitude bands. The ci.sh 100k-terminal byte-diff
+// runs the same comparison at scale.
+func TestEpochCampaignWorkerInvariance(t *testing.T) {
+	cases := []struct {
+		seed uint64
+		band string
+	}{{3, "mid"}, {17, "equatorial"}, {29, "high"}}
+	for _, tc := range cases {
+		cfg := equivConfig(tc.seed, tc.band)
+		cfg.Horizon = 4 * time.Minute
+		cfg.Workers = 1
+		want, wantMetrics, wantTrace := runWithSink(cfg)
+		for _, w := range []int{2, 8} {
+			cfg.Workers = w
+			got, gotMetrics, gotTrace := runWithSink(cfg)
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("seed %d band %s: %d-worker campaign result diverges from reference:\n got: %+v\nwant: %+v",
+					tc.seed, tc.band, w, got, want)
+			}
+			if !bytes.Equal(gotMetrics, wantMetrics) {
+				t.Errorf("seed %d band %s: %d-worker metrics export differs from reference", tc.seed, tc.band, w)
+			}
+			if !bytes.Equal(gotTrace, wantTrace) {
+				t.Errorf("seed %d band %s: %d-worker trace export differs from reference", tc.seed, tc.band, w)
+			}
+		}
+	}
+}
+
+// TestRunEpochSequentialMatchesPooled pins RunEpochSequential — the
+// in-tree single-threaded epoch the bench scale sweep times speedup
+// against — to the pooled path on the same fleet state.
+func TestRunEpochSequentialMatchesPooled(t *testing.T) {
+	cfg := equivConfig(5, "mid")
+	cfg.Workers = 4
+	pooled := New(cfg)
+	defer pooled.Close()
+	seq := New(cfg)
+	defer seq.Close()
+	for e := 0; e < 8; e++ {
+		at := sim.Time(int64(e) * int64(cfg.Epoch))
+		pooled.RunEpoch(e, at)
+		seq.RunEpochSequential(e, at)
+		if !reflect.DeepEqual(pooled.sat, seq.sat) || !reflect.DeepEqual(pooled.delayNs, seq.delayNs) {
+			t.Fatalf("epoch %d: assignments diverge between pooled and sequential epoch", e)
+		}
+	}
+	if !reflect.DeepEqual(pooled.result(8), seq.result(8)) {
+		t.Fatal("campaign results diverge between pooled and sequential epochs")
 	}
 }
 

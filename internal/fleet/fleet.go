@@ -25,7 +25,7 @@ package fleet
 
 import (
 	"math"
-	"sort"
+	"slices"
 	"time"
 
 	"starlinkperf/internal/geo"
@@ -185,6 +185,16 @@ type Fleet struct {
 	active   []bool
 	satList  []int32
 	satCnt   []int32
+
+	// Partitioned epoch campaign state (Workers > 1, see pool.go): the
+	// persistent worker pool, one private scratch per worker, the
+	// cell-aligned observe ranges workers steal, and the epoch staged
+	// for the observe phase.
+	pool      *epochPool
+	scratch   []epochScratch
+	obsRanges []int32
+	obsEpoch  int
+	obsUTC    float64
 }
 
 // New builds a fleet: places terminals, sorts them by cell and sizes the
@@ -251,38 +261,35 @@ func New(cfg Config) *Fleet {
 
 	// Sort terminals by (cell, placement index): per-cell slices become
 	// contiguous and the order stays a pure function of the placement.
+	// The key packs (cell, index) into one uint64 so slices.Sort runs on
+	// plain integers — at 1M terminals a comparator-based sort dominates
+	// construction time.
 	cells := make([]int32, n)
+	keys := make([]uint64, n)
 	for i := 0; i < n; i++ {
 		cells[i] = f.grid.cellOf(lat[i], lon[i])
+		keys[i] = uint64(uint32(cells[i]))<<32 | uint64(uint32(i))
 	}
-	perm := make([]int32, n)
-	for i := range perm {
-		perm[i] = int32(i)
-	}
-	sort.Slice(perm, func(a, b int) bool {
-		ia, ib := perm[a], perm[b]
-		if cells[ia] != cells[ib] {
-			return cells[ia] < cells[ib]
-		}
-		return ia < ib
-	})
+	slices.Sort(keys)
 
-	f.orig = perm
-	f.lat = make([]float64, n)
-	f.lon = make([]float64, n)
-	f.px = make([]float64, n)
-	f.py = make([]float64, n)
-	f.pz = make([]float64, n)
-	f.pnorm = make([]float64, n)
-	f.region = make([]int32, n)
-	f.cell = make([]int32, n)
+	// The SoA arrays come out of two slabs (one per element width)
+	// instead of thirteen separate allocations: capacity planning for
+	// the 1M-terminal build, ~89 B/terminal all in.
+	fslab := make([]float64, 6*n)
+	slabF := func() (s []float64) { s, fslab = fslab[:n:n], fslab[n:]; return }
+	f.lat, f.lon = slabF(), slabF()
+	f.px, f.py, f.pz = slabF(), slabF(), slabF()
+	f.pnorm = slabF()
+	islab := make([]int32, 6*n)
+	slabI := func() (s []int32) { s, islab = islab[:n:n], islab[n:]; return }
+	f.orig, f.region, f.cell = slabI(), slabI(), slabI()
+	f.sat, f.prevSat, f.gw = slabI(), slabI(), slabI()
 	f.seed = make([]uint64, n)
-	f.sat = make([]int32, n)
-	f.prevSat = make([]int32, n)
-	f.gw = make([]int32, n)
 	f.delayNs = make([]int64, n)
 	f.active = make([]bool, n)
-	for t, i := range perm {
+	for t, k := range keys {
+		i := int(uint32(k))
+		f.orig[t] = int32(i)
 		f.lat[t] = lat[i]
 		f.lon[t] = lon[i]
 		e := geo.LatLon{LatDeg: lat[i], LonDeg: lon[i]}.ToECEF()
@@ -310,6 +317,18 @@ func New(cfg Config) *Fleet {
 	f.epochHo = make([]int64, len(f.regions))
 
 	f.initAccum()
+	if cfg.Workers > 1 {
+		// Partitioned epoch campaign: pre-balance the observe ranges
+		// (cell-aligned, several per worker so stealing evens out dense
+		// metro cells), give each worker a private scratch, and spawn
+		// the persistent pool.
+		f.obsRanges = f.PartitionTerminals(cfg.Workers * 8).TermStart
+		f.scratch = make([]epochScratch, cfg.Workers)
+		for w := range f.scratch {
+			f.scratch[w] = f.newScratch()
+		}
+		f.pool = newEpochPool(f, cfg.Workers)
+	}
 	return f
 }
 
@@ -368,18 +387,41 @@ func (f *Fleet) Run() *Result {
 		epochs = 1
 	}
 	for e := 0; e < epochs; e++ {
-		at := sim.Time(int64(e) * int64(f.cfg.Epoch))
-		if f.cfg.Reference {
-			f.ReferenceReassignAt(at)
-		} else {
-			f.ReassignAt(at)
-		}
-		f.observeEpoch(e, at)
+		f.RunEpoch(e, sim.Time(int64(e)*int64(f.cfg.Epoch)))
 	}
 	return f.result(epochs)
 }
 
+// RunEpoch executes one campaign epoch at instant at: reassignment
+// (reference scan when cfg.Reference is set) followed by the
+// beam-contention accounting pass, both on the configured worker count.
+func (f *Fleet) RunEpoch(e int, at sim.Time) {
+	if f.cfg.Reference {
+		f.ReferenceReassignAt(at)
+	} else {
+		f.ReassignAt(at)
+	}
+	if f.pool != nil {
+		f.observeEpochParallel(e, at)
+	} else {
+		f.observeEpoch(e, at)
+	}
+}
+
+// RunEpochSequential executes one epoch pinned to the single-threaded
+// cell-indexed path regardless of cfg.Workers — the in-tree reference
+// the partitioned campaign is byte-diffed against, and the baseline the
+// bench scale sweep times speedup from.
+func (f *Fleet) RunEpochSequential(e int, at sim.Time) {
+	snap := f.con.SnapshotAt(at)
+	f.buildCandidates(snap)
+	f.assignRange(0, len(f.sat))
+	f.observeEpoch(e, at)
+}
+
 // Run builds and runs a fleet scenario in one call.
 func Run(cfg Config) *Result {
-	return New(cfg).Run()
+	f := New(cfg)
+	defer f.Close()
+	return f.Run()
 }

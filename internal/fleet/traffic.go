@@ -178,6 +178,38 @@ type probeRef struct {
 	// fast-forward can credit their stats and carry their FIFO arrival
 	// clamp forward in closed form.
 	up, down *netem.Link
+	// credit is the reusable cross-partition stats credit (see ffAbsorb's
+	// cross branch): at most one is ever in flight per terminal, because
+	// the credit's delivery stamp precedes the train's next fire by more
+	// than the lookahead, so the window that executes it has fully
+	// completed — with a barrier in between — before this terminal can
+	// absorb again and rewrite the struct.
+	credit ffCredit
+}
+
+// ffCredit carries the bulk stats credit an absorbed cross-partition
+// probe train owes its gateway partition: k probes through the gateway
+// link pair and k echo replies over the q->p return mesh crossing. It
+// travels over the same cross edge real request packets use, so
+// delivery respects the conservative lookahead by construction.
+type ffCredit struct {
+	tr   *Traffic
+	g    int32 // gateway index
+	from int32 // source partition p (the absorbed terminal's)
+	k    uint64
+}
+
+// ffRemoteCredit executes on the gateway partition's scheduler. All
+// three links it touches have their stats owned by that partition in
+// full emulation too (cross-link counters are source-side, and the
+// return crossing's source is the gateway partition), so the crediting
+// goroutine matches the emulating one exactly.
+func ffRemoteCredit(arg any) {
+	c := arg.(*ffCredit)
+	tr := c.tr
+	tr.gwTo[c.g].AccountBypassed(c.k, 0)
+	tr.gwFrom[c.g].AccountBypassed(c.k, 0)
+	tr.mesh[tr.home[c.g]][c.from].AccountBypassed(c.k, 0)
 }
 
 // trafficPart is one partition's share of the scenario: a network on the
@@ -227,6 +259,13 @@ type Traffic struct {
 	lookNs       int64
 	home         []int // gateway -> home partition, from the build-time tally
 	gwTo, gwFrom []*netem.Link
+	// mesh[p][q] is the boundary link from partition p's egress to q's
+	// ingress (meshSelf on the diagonal); edges[p][q] is the raw cross
+	// edge under it (nil on the diagonal and on the reference path). The
+	// cross-partition fast-forward credits the p-owned request crossing
+	// directly and sends the q-owned half of the credit over the edge.
+	mesh  [][]*netem.Link
+	edges [][]*sim.CrossEdge
 }
 
 func terminalAddr(part, i int) netem.Addr {
@@ -339,9 +378,11 @@ func (tr *Traffic) build(scheds []*sim.Scheduler) {
 	// destination's cross-edge list (ascending source), and with it the
 	// deterministic inbox drain order inside sim.PartitionedDriver.
 	mesh := make([][]*netem.Link, nParts)
+	edges := make([][]*sim.CrossEdge, nParts)
 	meshCfg := netem.LinkConfig{Delay: netem.ConstantDelay(look)}
 	for p := 0; p < nParts; p++ {
 		mesh[p] = make([]*netem.Link, nParts)
+		edges[p] = make([]*sim.CrossEdge, nParts)
 		for q := 0; q < nParts; q++ {
 			if p == q {
 				mesh[p][q] = tr.parts[p].net.AddLink(tr.parts[p].egress, tr.parts[p].ingress, meshCfg)
@@ -352,9 +393,11 @@ func (tr *Traffic) build(scheds []*sim.Scheduler) {
 			if err != nil {
 				panic(err)
 			}
+			edges[p][q] = edge
 			mesh[p][q] = tr.parts[p].net.AddCrossLink(tr.parts[p].egress, tr.parts[q].ingress, edge, meshCfg)
 		}
 	}
+	tr.mesh, tr.edges = mesh, edges
 
 	// Pass 3: gateways and routes. Each gateway is homed in the partition
 	// owning its own grid cell: assignment picks the gateway with the
@@ -367,9 +410,9 @@ func (tr *Traffic) build(scheds []*sim.Scheduler) {
 	// count), hence identical in PDES and reference mode. Every egress
 	// router can still reach every gateway through the mesh, and routes
 	// replies by terminal /16 prefix, so homing never affects delivery or
-	// delay — only which edges carry the packets. Intra-partition homing
-	// also decides where the fast-forward can engage: an absorbed probe
-	// train must never touch a cross edge.
+	// delay — only which edges carry the packets, and with them which
+	// partition owns the stats the fast-forward's cross branch must
+	// credit remotely.
 	home := make([]int, len(f.cfg.Gateways))
 	for g, gwc := range f.cfg.Gateways {
 		home[g] = int(tr.pm.CellPart[f.grid.cellOf(gwc.Pos.LatDeg, gwc.Pos.LonDeg)])
@@ -475,14 +518,24 @@ func (tr *Traffic) build(scheds []*sim.Scheduler) {
 //     deliberately NOT advanced to a virtual future arrival, which
 //     could otherwise clamp another terminal's live packet in a way
 //     full emulation never would.
+//   - A train homed to a remote-partition gateway absorbs too: the
+//     cross crossings carry the same constant lookahead both ways, so
+//     the raw access-link arrivals — and with them every eligibility
+//     bound above — are identical to the intra-partition case. Only
+//     the stats ownership differs: the gateway pair and the return
+//     crossing are counted by the gateway partition in full emulation,
+//     so their credit travels over the request cross edge (stamped
+//     inside the conservative horizon by the same d > L bound real
+//     packets rely on) and lands as one remote event — which also
+//     keeps processed+skipped exactly equal to full emulation's event
+//     count.
 //
-// Anything aperiodic — epoch boundary inside the train, a gateway homed
-// in another partition (cross-edge traffic), a reply that would cross
-// the boundary or the horizon, clamp carryover — fails an eligibility
-// check and falls back to plain emulation for this fire (return false);
-// the next fire retries. Outage epochs absorb trivially: the probe is
-// never transmitted, so the whole window's skips collapse into counter
-// arithmetic.
+// Anything aperiodic — epoch boundary inside the train, a reply that
+// would cross the boundary or the horizon, clamp carryover — fails an
+// eligibility check and falls back to plain emulation for this fire
+// (return false); the next fire retries. Outage epochs absorb
+// trivially: the probe is never transmitted, so the whole window's
+// skips collapse into counter arithmetic.
 func ffAbsorb(ref *probeRef) bool {
 	pt := ref.part
 	tr := pt.tr
@@ -514,11 +567,11 @@ func ffAbsorb(ref *probeRef) bool {
 	}
 
 	rtt := 2 * d
-	if rtt >= ivl || tr.home[g] != pt.idx || nowNs+rtt >= constEnd {
-		// Overlapping probes, a cross-partition path, or a train too
-		// close to the boundary (its reply would land in the next
-		// window, or — at the horizon — never land at all, which plain
-		// emulation reproduces as an in-flight loss).
+	if rtt >= ivl || nowNs+rtt >= constEnd {
+		// Overlapping probes, or a train too close to the boundary (its
+		// reply would land in the next window, or — at the horizon —
+		// never land at all, which plain emulation reproduces as an
+		// in-flight loss).
 		return false
 	}
 	if sim.Time(nowNs+d-tr.lookNs) < ref.up.LastArrival() ||
@@ -546,15 +599,29 @@ func ffAbsorb(ref *probeRef) bool {
 	// one each through the gateway pair, one packet down.
 	kk := uint64(k)
 	ref.up.AccountBypassed(kk, sim.Time(last+d-tr.lookNs))
-	pt.meshSelf.AccountBypassed(2*kk, 0)
-	tr.gwTo[g].AccountBypassed(kk, 0)
-	tr.gwFrom[g].AccountBypassed(kk, 0)
 	ref.down.AccountBypassed(kk, sim.Time(last+rtt))
 	pt.ffProbes += k
-	// Each emulated probe costs seven events on the delay-only/fast
-	// tiers (the fire plus six single-hop deliveries); this fire's own
-	// event did execute.
-	pt.sched.CreditSkipped(7*kk - 1)
+	if q := tr.home[g]; q == pt.idx {
+		pt.meshSelf.AccountBypassed(2*kk, 0)
+		tr.gwTo[g].AccountBypassed(kk, 0)
+		tr.gwFrom[g].AccountBypassed(kk, 0)
+		// Each emulated probe costs seven events on the delay-only/fast
+		// tiers (the fire plus six single-hop deliveries); this fire's
+		// own event did execute.
+		pt.sched.CreditSkipped(7*kk - 1)
+	} else {
+		// Remote-homed gateway: credit the p-owned request crossing
+		// here; the q-owned gateway pair and return crossing travel as
+		// one ffCredit over the request edge. The stamp now+d clears the
+		// edge's lookahead (d > L strictly) and precedes the train's
+		// next possible fire by more than a window, so reusing
+		// ref.credit is race-free. Seven events per probe minus the two
+		// that execute (this fire and the credit delivery).
+		tr.mesh[pt.idx][q].AccountBypassed(kk, 0)
+		ref.credit = ffCredit{tr: tr, g: g, from: int32(pt.idx), k: kk}
+		tr.edges[pt.idx][q].Send(sim.Time(nowNs+d), ffRemoteCredit, &ref.credit)
+		pt.sched.CreditSkipped(7*kk - 2)
+	}
 	if next := sim.Time(last + ivl); next < tr.horizon {
 		pt.sched.AtFunc(next, probeFire, ref)
 	}
@@ -605,17 +672,13 @@ func probeFire(arg any) {
 // partition's clock exactly at the epoch instant — so the shared fleet
 // arrays are never written while a window runs.
 func (tr *Traffic) epoch(e int, at sim.Time) {
-	if tr.fleet.cfg.Reference {
-		tr.fleet.ReferenceReassignAt(at)
-	} else {
-		tr.fleet.ReassignAt(at)
-	}
-	tr.fleet.observeEpoch(e, at)
+	tr.fleet.RunEpoch(e, at)
 }
 
 // Run executes the scenario to the horizon and returns the merged result.
 func (tr *Traffic) Run() *TrafficResult {
 	f := tr.fleet
+	defer f.Close()
 	epochs := int(f.cfg.Horizon / f.cfg.Epoch)
 	if epochs < 1 {
 		epochs = 1
@@ -648,9 +711,9 @@ func RunTraffic(cfg TrafficConfig) *TrafficResult {
 
 // FastForwarded returns how many probe fires the analytic fast-forward
 // absorbed in closed form (0 except in FidelityAuto mode). Deliberately
-// not part of TrafficResult: the count depends on the partition map
-// (gateway homing decides eligibility), while every TrafficResult field
-// is partition-count invariant.
+// not part of TrafficResult: the count depends on the fidelity mode,
+// while every TrafficResult field is fidelity-invariant (eligibility no
+// longer depends on gateway homing — cross-partition trains absorb too).
 func (tr *Traffic) FastForwarded() int64 {
 	var n int64
 	for _, pt := range tr.parts {

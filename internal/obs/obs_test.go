@@ -341,3 +341,41 @@ func TestHistogramObserveN(t *testing.T) {
 		t.Error("nil histogram accumulated observations")
 	}
 }
+
+// TestHistogramDrainInto checks the per-worker scratch handoff the
+// partitioned fleet campaign uses: a standalone (unregistered) histogram
+// drains its buckets into a registered one and resets, nil on either
+// side is a no-op, and a layout mismatch panics.
+func TestHistogramDrainInto(t *testing.T) {
+	r := NewRegistry()
+	dst := r.Histogram("dst", DurationBounds())
+	want := r.Histogram("want", DurationBounds())
+	scratch := NewHistogram(DurationBounds())
+	for _, v := range []int64{1, int64(time.Millisecond), int64(500 * time.Second), 0, 42} {
+		scratch.Observe(v)
+		want.Observe(v)
+	}
+	scratch.DrainInto(dst)
+	if dst.Total() != want.Total() || dst.Sum() != want.Sum() || !reflect.DeepEqual(dst.counts, want.counts) {
+		t.Errorf("drained histogram differs: total %d/%d sum %d/%d", dst.Total(), want.Total(), dst.Sum(), want.Sum())
+	}
+	if scratch.Total() != 0 || scratch.Sum() != 0 {
+		t.Error("scratch not reset after DrainInto")
+	}
+	scratch.DrainInto(dst) // empty drain: no-op
+	if dst.Total() != want.Total() {
+		t.Error("empty drain changed the destination")
+	}
+
+	var nilH *Histogram
+	nilH.DrainInto(dst) // must not panic
+	scratch.DrainInto(nilH)
+
+	scratch.Observe(1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("draining into a different bucket layout did not panic")
+		}
+	}()
+	scratch.DrainInto(r.Histogram("sizes", SizeBounds()))
+}

@@ -171,6 +171,38 @@ func (h *Histogram) ObserveN(v int64, n uint64) {
 	h.counts[len(h.bounds)] += n
 }
 
+// NewHistogram returns a standalone histogram with the given bucket
+// bounds, unattached to any registry — scratch space for per-worker
+// accumulation that is later drained into a registered histogram with
+// DrainInto. Not exported by Registry exports.
+func NewHistogram(bounds []int64) *Histogram {
+	return &Histogram{
+		bounds: append([]int64(nil), bounds...),
+		counts: make([]uint64, len(bounds)+1),
+	}
+}
+
+// DrainInto adds this histogram's buckets into dst and resets the
+// receiver to empty. Both sides must share the bucket layout. Safe when
+// either side is nil (no-op), so scratch histograms mirror the maybe-nil
+// registered metric they drain into.
+func (h *Histogram) DrainInto(dst *Histogram) {
+	if h == nil || dst == nil || h.total == 0 {
+		return
+	}
+	if len(h.bounds) != len(dst.bounds) {
+		panic("obs: draining histogram into different bucket layout")
+	}
+	dst.total += h.total
+	dst.sum += h.sum
+	h.total = 0
+	h.sum = 0
+	for i, c := range h.counts {
+		dst.counts[i] += c
+		h.counts[i] = 0
+	}
+}
+
 // Total returns the number of observations (0 for nil).
 func (h *Histogram) Total() uint64 {
 	if h == nil {

@@ -69,6 +69,22 @@ func (d *FixedDist) Merge(o *FixedDist) {
 	d.n += o.n
 }
 
+// DrainInto merges this distribution into dst and resets the receiver to
+// empty — the per-epoch scratch handoff the partitioned fleet campaign
+// uses: each worker observes into its own FixedDist, then the merge pass
+// drains every scratch into the long-lived accumulator, leaving the
+// scratch ready for the next epoch without a separate reset walk.
+func (d *FixedDist) DrainInto(dst *FixedDist) {
+	if d.n == 0 {
+		return
+	}
+	dst.Merge(d)
+	for i := range d.counts {
+		d.counts[i] = 0
+	}
+	d.n = 0
+}
+
 // Quantile returns the q-quantile (0 < q <= 1) as the midpoint of the
 // bucket holding the ceil(q·n)-th observation — a pure function of the
 // counts, so invariant to observation order and worker count. Returns 0
